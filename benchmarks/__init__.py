@@ -1,0 +1,9 @@
+"""Benchmark/reproduction harness — one module per paper table/figure/claim.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints the series/rows it regenerates and persists them under
+``benchmarks/out/``.  See ``benchmarks/conftest.py`` for environment knobs.
+"""

@@ -1,0 +1,57 @@
+"""Ablation — analytic drain (message-level) vs flit-accurate simulation.
+
+DESIGN.md §4 approximates the in-message flit pipeline analytically; this
+bench certifies the approximation by running both engines on the same
+seeds/loads and reporting the latency ratio, and times the two engines on
+identical work to quantify the speedup the approximation buys.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.cluster import homogeneous_system
+from repro.core import MessageSpec
+from repro.simulation import MeasurementWindow, SimulationSession
+
+from benchmarks.conftest import emit
+
+SYSTEM = homogeneous_system(switch_ports=4, tree_depth=2, num_clusters=4)
+MESSAGE = MessageSpec(16, 256.0)
+WINDOW = MeasurementWindow(300, 3000, 300)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_drain_model(benchmark, out_dir):
+    session = SimulationSession(SYSTEM, MESSAGE)
+
+    def message_level_run():
+        return session.run(1e-3, seed=0, window=WINDOW, granularity="message")
+
+    timed = benchmark(message_level_run)
+
+    rows = []
+    for lam in (2e-4, 1e-3, 3e-3, 6e-3):
+        msg_run = session.run(lam, seed=1, window=WINDOW, granularity="message")
+        flit_run = session.run(lam, seed=1, window=WINDOW, granularity="flit")
+        ratio = msg_run.mean_latency / flit_run.mean_latency
+        rows.append(
+            [
+                lam,
+                msg_run.mean_latency,
+                flit_run.mean_latency,
+                ratio,
+                msg_run.events,
+                flit_run.events,
+            ]
+        )
+        assert 0.9 < ratio < 1.1, f"drain approximation off by {ratio:.3f} at λ={lam}"
+    speedup = rows[-1][5] / rows[-1][4]
+
+    text = render_table(
+        ["lambda_g", "message-level", "flit-level", "ratio", "msg events", "flit events"],
+        rows,
+        title="Drain-model ablation (ratio should stay within ±10%)",
+    )
+    text += f"\n\nflit/message event-count ratio at top load: x{speedup:.1f}"
+    text += f"\nmessage-level wall time per run (timed): {timed.wall_seconds:.2f}s"
+    emit(out_dir, "ablation_drain_model", text, payload={"rows": rows})

@@ -1,0 +1,45 @@
+"""Ablation — the Eq. 27/28 relaxing factor δ on ICN2 channel waits.
+
+The paper corrects ICN2 stage waits by δ = β_I2/β_E1 because the faster
+ICN2 drains queues quicker than the ECN1-rate analysis assumes.  This bench
+quantifies the correction's effect across the load range and checks it
+moves the model toward the simulator.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import AnalyticalModel, MessageSpec, ModelOptions, paper_system_544
+from repro.core.sweep import find_saturation_load
+from repro.simulation import MeasurementWindow
+
+from benchmarks.conftest import SessionCache, bench_messages, emit
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_relaxing_factor(benchmark, sessions: SessionCache, out_dir):
+    system = paper_system_544()
+    message = MessageSpec(32, 256.0)
+    with_delta = AnalyticalModel(system, message)
+    without_delta = AnalyticalModel(system, message, ModelOptions(relaxing_factor=False))
+    lam_star = find_saturation_load(with_delta)
+    loads = [f * lam_star for f in (0.2, 0.4, 0.6, 0.8)]
+
+    benchmark(lambda: [with_delta.evaluate(lam) for lam in loads])
+
+    window = MeasurementWindow.scaled_paper(max(4000, bench_messages() // 4))
+    session = sessions.get(system, message)
+    rows = []
+    for lam in loads:
+        on = with_delta.evaluate(lam).latency
+        off = without_delta.evaluate(lam).latency
+        sim = session.run(lam, seed=2, window=window).mean_latency
+        rows.append([lam, on, off, sim, (on - sim) / sim, (off - sim) / sim])
+        assert on <= off  # δ = 0.5 < 1 can only reduce ICN2 waits
+
+    text = render_table(
+        ["lambda_g", "model (δ on)", "model (δ off)", "simulation", "err δ on", "err δ off"],
+        rows,
+        title="Relaxing-factor ablation, N=544, M=32, Lm=256",
+    )
+    emit(out_dir, "ablation_relaxing_factor", text, payload={"rows": rows})

@@ -1,0 +1,47 @@
+"""Ablation — source-queue arrival-rate readings (DESIGN.md §3 items 6/8).
+
+The OCR'd Eq. 31 literally uses the aggregate pair rate λ_E1^{(i,j)} in the
+inter-cluster source queue; DESIGN.md argues this cannot be what the
+authors computed because it saturates the model far left of every figure's
+knee.  This bench demonstrates that, and compares the default per-node
+reading against the simulator.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import AnalyticalModel, MessageSpec, ModelOptions, paper_system_1120
+from repro.core.sweep import find_saturation_load
+
+from benchmarks.conftest import emit
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_source_rate(benchmark, out_dir):
+    system = paper_system_1120()
+    message = MessageSpec(32, 256.0)
+    readings = {
+        "paper (per-port)": ModelOptions(source_queue_rate="paper"),
+        "per_node": ModelOptions(source_queue_rate="per_node"),
+        "aggregate_pair (literal OCR)": ModelOptions(source_queue_rate="aggregate_pair"),
+    }
+    models = {name: AnalyticalModel(system, message, opts) for name, opts in readings.items()}
+
+    benchmark(lambda: {name: find_saturation_load(m) for name, m in models.items()})
+
+    knees = {name: find_saturation_load(m) for name, m in models.items()}
+    # The literal reading saturates ~4x earlier than the figure knee.
+    assert knees["aggregate_pair (literal OCR)"] < 0.5 * knees["paper (per-port)"]
+    # The defended readings preserve the Fig. 3 knee (~5.2e-4).
+    assert knees["paper (per-port)"] == pytest.approx(5.18e-4, rel=0.03)
+
+    rows = []
+    grid = [0.2 * knees["paper (per-port)"], 0.5 * knees["paper (per-port)"]]
+    for name, model in models.items():
+        rows.append([name, knees[name], *[model.evaluate(lam).latency for lam in grid]])
+    text = render_table(
+        ["reading", "λ*", f"L({grid[0]:.1e})", f"L({grid[1]:.1e})"],
+        rows,
+        title="Source-queue rate readings, N=1120, M=32 (paper Fig.3 knee ≈ 5e-4)",
+    )
+    emit(out_dir, "ablation_source_rate", text, payload={"knees": knees})

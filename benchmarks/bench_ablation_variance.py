@@ -1,0 +1,44 @@
+"""Ablation — Eq. 17's service-time variance approximation.
+
+The paper approximates source-queue service variance as (T − M·t_cn)²,
+citing it as a known source of inaccuracy under heavy load (§4).  This
+bench compares it with an exponential-service (σ² = T²) alternative against
+the simulator.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import AnalyticalModel, MessageSpec, ModelOptions, paper_system_1120
+from repro.core.sweep import find_saturation_load
+from repro.simulation import MeasurementWindow
+
+from benchmarks.conftest import SessionCache, bench_messages, emit
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_variance(benchmark, sessions: SessionCache, out_dir):
+    system = paper_system_1120()
+    message = MessageSpec(32, 256.0)
+    paper_model = AnalyticalModel(system, message)
+    expo_model = AnalyticalModel(system, message, ModelOptions(variance_approximation="exponential"))
+    lam_star = find_saturation_load(paper_model)
+    loads = [f * lam_star for f in (0.2, 0.5, 0.8)]
+
+    benchmark(lambda: [paper_model.evaluate(lam) for lam in loads])
+
+    window = MeasurementWindow.scaled_paper(max(4000, bench_messages() // 4))
+    session = sessions.get(system, message)
+    rows = []
+    for lam in loads:
+        paper_lat = paper_model.evaluate(lam).latency
+        expo_lat = expo_model.evaluate(lam).latency
+        sim = session.run(lam, seed=3, window=window).mean_latency
+        rows.append([lam, paper_lat, expo_lat, sim, (paper_lat - sim) / sim, (expo_lat - sim) / sim])
+
+    text = render_table(
+        ["lambda_g", "Eq.17 var", "exponential var", "simulation", "err Eq.17", "err expo"],
+        rows,
+        title="Variance-approximation ablation, N=1120, M=32, Lm=256",
+    )
+    emit(out_dir, "ablation_variance", text, payload={"rows": rows})

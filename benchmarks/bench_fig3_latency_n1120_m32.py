@@ -1,0 +1,18 @@
+"""Paper Fig. 3 — mean message latency vs load, N=1120, m=8, M=32.
+
+Two flit sizes (Lm = 256/512 bytes), analytical model vs simulation.
+Expected shape (paper): flat-then-knee curves saturating near λ_g ≈ 5e-4
+for Lm=256 and ≈ 2.6e-4 for Lm=512, with the model tracking simulation at
+light load and turning optimistic near the knee.
+"""
+
+import pytest
+
+from repro.validation import figure3
+
+from benchmarks._figures import run_figure
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_latency_n1120_m32(benchmark, sessions, out_dir):
+    run_figure(figure3(), sessions, out_dir, benchmark)

@@ -1,0 +1,16 @@
+"""Paper Fig. 4 — mean message latency vs load, N=1120, m=8, M=64.
+
+Doubling the message length halves the saturation load relative to Fig. 3
+(knee near λ_g ≈ 2.6e-4 for Lm=256).
+"""
+
+import pytest
+
+from repro.validation import figure4
+
+from benchmarks._figures import run_figure
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_latency_n1120_m64(benchmark, sessions, out_dir):
+    run_figure(figure4(), sessions, out_dir, benchmark)

@@ -1,0 +1,16 @@
+"""Paper Fig. 5 — mean message latency vs load, N=544, m=4, M=32.
+
+The N=544 organisation's largest cluster carries half the external load of
+N=1120's, so its knee sits twice as far right (λ_g ≈ 1e-3 for Lm=256).
+"""
+
+import pytest
+
+from repro.validation import figure5
+
+from benchmarks._figures import run_figure
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_latency_n544_m32(benchmark, sessions, out_dir):
+    run_figure(figure5(), sessions, out_dir, benchmark)

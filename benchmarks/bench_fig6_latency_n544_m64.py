@@ -1,0 +1,15 @@
+"""Paper Fig. 6 — mean message latency vs load, N=544, m=4, M=64.
+
+Knee near λ_g ≈ 5.2e-4 for Lm=256 (half of Fig. 5's, per message length).
+"""
+
+import pytest
+
+from repro.validation import figure6
+
+from benchmarks._figures import run_figure
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_latency_n544_m64(benchmark, sessions, out_dir):
+    run_figure(figure6(), sessions, out_dir, benchmark)

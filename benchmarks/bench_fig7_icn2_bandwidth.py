@@ -1,0 +1,50 @@
+"""Paper Fig. 7 — impact of +20 % ICN2 bandwidth (M=128, Lm=256).
+
+Model-only study (as in the paper): base vs increased-bandwidth curves for
+both Table 1 systems on one shared load axis.  Expected shape: the
+enhancement matters most in the high-traffic region, the N=1120 system
+saturates first, and the N=544 system shows the more dramatic improvement
+inside the plotted window.
+"""
+
+import pytest
+
+from repro.analysis import icn2_bandwidth_study
+from repro.core import MessageSpec, find_saturation_load, AnalyticalModel
+from repro.io import format_whatif_study
+from repro.validation import figure7_systems
+
+from benchmarks.conftest import bench_points, emit
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_icn2_bandwidth(benchmark, out_dir):
+    message = MessageSpec(128, 256.0)
+
+    study = benchmark(
+        icn2_bandwidth_study, figure7_systems(), message, factor=1.2, points=max(8, bench_points())
+    )
+
+    by_label = {c.label: c for c in study.curves}
+    gain_544 = study.saturation_gain("N=544, base", "N=544, icn2 x1.2")
+    gain_1120 = study.saturation_gain("N=1120, base", "N=1120, icn2 x1.2")
+    assert 1.1 < gain_544 < 1.25 and 1.1 < gain_1120 < 1.25
+
+    knees = {
+        name: find_saturation_load(AnalyticalModel(system, message))
+        for name, system in zip(("N=544", "N=1120"), figure7_systems())
+    }
+    # Paper x-axis reaches 3e-4 with both base systems saturating inside it.
+    assert knees["N=1120"] < knees["N=544"] < 3e-4
+
+    text = format_whatif_study(study)
+    text += "\n\nSaturation loads (model):\n"
+    for label, curve in by_label.items():
+        text += f"  {label:24s} λ* = {curve.saturation_load:.3e}\n"
+    text += f"\nKnee shift from +20% ICN2 bandwidth: N=544 x{gain_544:.3f}, N=1120 x{gain_1120:.3f}"
+    emit(
+        out_dir,
+        "fig7_icn2_bandwidth",
+        text,
+        payload={label: list(c.latencies) for label, c in by_label.items()},
+    )

@@ -1,0 +1,71 @@
+"""Performance — the analytical model as a "practical evaluation tool".
+
+The paper's selling point over simulation is evaluation cost.  This bench
+times a full model evaluation for both Table 1 systems, measures the
+class-aggregation speedup (DESIGN.md §3) and reports the model-vs-simulation
+wall-time ratio for one figure point.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import AnalyticalModel, MessageSpec, paper_system_544, paper_system_1120
+from repro.analysis import render_table
+
+from benchmarks.conftest import emit
+
+MESSAGE = MessageSpec(32, 256.0)
+
+
+def exploded(system):
+    """Force one singleton class per cluster via negligible bandwidth offsets."""
+    clusters = tuple(
+        replace(spec, icn1=replace(spec.icn1, bandwidth=spec.icn1.bandwidth + 1e-9 * (i + 1)))
+        for i, spec in enumerate(system.clusters)
+    )
+    return replace(system, clusters=clusters)
+
+
+@pytest.mark.benchmark(group="performance")
+def test_model_speed_n1120(benchmark):
+    model = AnalyticalModel(paper_system_1120(), MESSAGE)
+    result = benchmark(model.evaluate, 3e-4)
+    assert result.latency > 0
+
+
+@pytest.mark.benchmark(group="performance")
+def test_model_speed_n544(benchmark):
+    model = AnalyticalModel(paper_system_544(), MESSAGE)
+    result = benchmark(model.evaluate, 5e-4)
+    assert result.latency > 0
+
+
+@pytest.mark.benchmark(group="performance")
+def test_model_speed_without_class_aggregation(benchmark, out_dir):
+    import time
+
+    aggregated = AnalyticalModel(paper_system_1120(), MESSAGE)
+    exploded_model = AnalyticalModel(exploded(paper_system_1120()), MESSAGE)
+    benchmark(exploded_model.evaluate, 3e-4)
+
+    def wall(model, repeats=3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            model.evaluate(3e-4)
+        return (time.perf_counter() - start) / repeats
+
+    t_agg = wall(aggregated)
+    t_exp = wall(exploded_model)
+    speedup = t_exp / t_agg
+    assert speedup > 5  # 3 classes vs 32 singleton classes
+
+    text = render_table(
+        ["variant", "classes", "seconds/eval"],
+        [
+            ["class-aggregated", len(aggregated.cluster_classes), t_agg],
+            ["per-cluster (exploded)", len(exploded_model.cluster_classes), t_exp],
+        ],
+        title=f"Class aggregation speedup: x{speedup:.1f} (N=1120)",
+    )
+    emit(out_dir, "model_speed", text, payload={"speedup": speedup})

@@ -1,0 +1,51 @@
+"""Performance — simulator throughput (events/second) at both granularities.
+
+Quantifies the cost of validation runs: the message-level engine on a paper
+system and the flit-level engine on the small reference system.
+"""
+
+import pytest
+
+from repro.cluster import homogeneous_system
+from repro.core import MessageSpec, paper_system_544
+from repro.simulation import MeasurementWindow, SimulationSession
+
+from benchmarks.conftest import emit
+
+
+@pytest.mark.benchmark(group="performance")
+def test_message_level_throughput_paper_system(benchmark, sessions, out_dir):
+    session = sessions.get(paper_system_544(), MessageSpec(32, 256.0))
+    window = MeasurementWindow(500, 5000, 500)
+
+    result = benchmark.pedantic(
+        lambda: session.run(3e-4, seed=0, window=window), rounds=2, iterations=1
+    )
+    rate = result.events / result.wall_seconds
+    assert result.completed
+    emit(
+        out_dir,
+        "sim_speed_message_level",
+        f"message-level engine, N=544 @ λ=3e-4: {result.events} events, "
+        f"{result.wall_seconds:.2f}s -> {rate:,.0f} events/s",
+        payload={"events": result.events, "events_per_second": rate},
+    )
+
+
+@pytest.mark.benchmark(group="performance")
+def test_flit_level_throughput_small_system(benchmark, sessions, out_dir):
+    session = sessions.get(homogeneous_system(switch_ports=4, tree_depth=2, num_clusters=4), MessageSpec(16, 256.0))
+    window = MeasurementWindow(200, 1500, 200)
+
+    result = benchmark.pedantic(
+        lambda: session.run(1e-3, seed=0, window=window, granularity="flit"), rounds=2, iterations=1
+    )
+    rate = result.events / result.wall_seconds
+    assert result.completed
+    emit(
+        out_dir,
+        "sim_speed_flit_level",
+        f"flit-level engine, 32 nodes @ λ=1e-3: {result.events} events, "
+        f"{result.wall_seconds:.2f}s -> {rate:,.0f} events/s",
+        payload={"events": result.events, "events_per_second": rate},
+    )

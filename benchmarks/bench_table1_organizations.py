@@ -1,0 +1,40 @@
+"""Paper Table 1 — system organisations for model validation.
+
+Regenerates the table from :mod:`repro.cluster.organizations` and checks
+the structural invariants the paper states (node totals, cluster counts,
+ICN2 population).  The timed core is the full fabric assembly of both
+organisations — the "can we even build it" cost a designer pays per
+what-if iteration.
+"""
+
+import pytest
+
+from repro.cluster import HeterogeneousSystem, paper_organizations, table1_rows
+from repro.io import format_table1
+
+from benchmarks.conftest import emit
+
+
+def build_both():
+    return [HeterogeneousSystem(cfg) for cfg in paper_organizations()]
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_organizations(benchmark, out_dir):
+    systems = benchmark(build_both)
+
+    rows = table1_rows()
+    assert [r["N"] for r in rows] == [1120, 544]
+    assert [r["C"] for r in rows] == [32, 16]
+    assert [r["m"] for r in rows] == [8, 4]
+    assert systems[0].total_nodes == 1120
+    assert systems[1].total_nodes == 544
+    assert systems[0].icn2.num_nodes == 32
+    assert systems[1].icn2.num_nodes == 16
+
+    text = format_table1(rows)
+    extra = "\n".join(
+        f"  built {s.describe()['name']}: {s.describe()['channels']} directed channels"
+        for s in systems
+    )
+    emit(out_dir, "table1_organizations", text + "\n\n" + extra, payload=rows)

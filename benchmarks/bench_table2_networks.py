@@ -1,0 +1,42 @@
+"""Paper Table 2 — network characteristics for model validation.
+
+Regenerates the table and derives the service-time primitives (Eqs. 11-12)
+each network/flit-size combination implies; the timed core is the service
+time computation over the full validation grid.
+"""
+
+import pytest
+
+from repro.core import NET1, NET2, MessageSpec, node_channel_time, switch_channel_time
+from repro.analysis import render_table
+from repro.io import format_table2
+
+from benchmarks.conftest import emit
+
+
+def service_grid():
+    rows = []
+    for net in (NET1, NET2):
+        for d_m in (256.0, 512.0):
+            rows.append(
+                [net.name, d_m, node_channel_time(net, d_m), switch_channel_time(net, d_m)]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_networks(benchmark, out_dir):
+    rows = benchmark(service_grid)
+
+    # Paper values and their Eq. 11-12 consequences.
+    assert NET1.beta == pytest.approx(1 / 500)
+    assert switch_channel_time(NET1, 256.0) == pytest.approx(0.532)
+    assert switch_channel_time(NET2, 256.0) == pytest.approx(1.034)
+
+    text = format_table2([NET1, NET2])
+    text += "\n\n" + render_table(
+        ["Network", "d_m", "t_cn (Eq.11)", "t_cs (Eq.12)"],
+        rows,
+        title="Derived channel service times",
+    )
+    emit(out_dir, "table2_networks", text, payload={"rows": rows})

@@ -1,0 +1,73 @@
+"""Shared infrastructure for the benchmark/reproduction harness.
+
+Every bench both *times* its computational core (pytest-benchmark) and
+*regenerates* its paper artifact — printing the same rows/series the paper
+charts and saving them under ``benchmarks/out/`` (text and JSON) so a run
+leaves a reviewable record.
+
+Environment knobs:
+
+``REPRO_BENCH_MESSAGES``
+    measured messages per simulation point (default 20 000; the paper used
+    100 000 — set that for a full-fidelity run).
+``REPRO_BENCH_POINTS``
+    load-grid points per curve (default 8).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import MessageSpec, ModelOptions, SystemConfig
+from repro.io import save_json
+from repro.simulation import MeasurementWindow, SimulationSession
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_messages() -> int:
+    return int(os.environ.get("REPRO_BENCH_MESSAGES", "20000"))
+
+
+def bench_points() -> int:
+    return int(os.environ.get("REPRO_BENCH_POINTS", "8"))
+
+
+def bench_window() -> MeasurementWindow:
+    return MeasurementWindow.scaled_paper(bench_messages())
+
+
+class SessionCache:
+    """One SimulationSession per (system, message, options) per bench run."""
+
+    def __init__(self) -> None:
+        self._sessions: dict = {}
+
+    def get(self, system: SystemConfig, message: MessageSpec, options: ModelOptions | None = None) -> SimulationSession:
+        key = (system, message, options)
+        if key not in self._sessions:
+            self._sessions[key] = SimulationSession(system, message, options=options)
+        return self._sessions[key]
+
+
+@pytest.fixture(scope="session")
+def sessions() -> SessionCache:
+    return SessionCache()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: Path, name: str, text: str, payload=None) -> None:
+    """Print a reproduction block and persist it under benchmarks/out/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+    if payload is not None:
+        save_json(out_dir / f"{name}.json", payload)

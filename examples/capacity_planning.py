@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Capacity planning — the paper's Fig. 7 study generalised.
+
+A system designer asks: *which network should I upgrade, and by how much,
+to support a target per-node message rate within a latency budget?*  The
+analytical model answers in milliseconds per design point, which is the
+paper's core argument for analytical modelling over simulation.
+
+The script:
+
+1. reproduces the Fig. 7 comparison (+20 % ICN2 bandwidth, M=128);
+2. sweeps upgrade factors for each network role and charts the saturation
+   load each buys;
+3. finds the cheapest single-network upgrade meeting a target load.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import AnalyticalModel, MessageSpec, find_saturation_load
+from repro.analysis import icn2_bandwidth_study, render_series, render_table, scale_network
+from repro.io import format_whatif_study
+from repro.validation import figure7_systems
+
+
+def fig7_reproduction() -> None:
+    message = MessageSpec(128, 256.0)
+    study = icn2_bandwidth_study(figure7_systems(), message, factor=1.2, points=8)
+    print(format_whatif_study(study))
+    for system_label in ("N=544", "N=1120"):
+        gain = study.saturation_gain(f"{system_label}, base", f"{system_label}, icn2 x1.2")
+        print(f"  {system_label}: +20% ICN2 bandwidth moves the knee right x{gain:.3f}")
+
+
+def upgrade_sweep() -> None:
+    message = MessageSpec(64, 256.0)
+    base_system = figure7_systems()[1]  # N=1120
+    factors = [1.0, 1.2, 1.5, 2.0]
+    columns = {}
+    for role in ("icn2", "ecn1", "icn1"):
+        knees = []
+        for factor in factors:
+            cfg = base_system if factor == 1.0 else scale_network(base_system, role, factor)
+            knees.append(find_saturation_load(AnalyticalModel(cfg, message)))
+        columns[f"{role} upgrade"] = knees
+    print()
+    print(
+        render_series(
+            "Saturation load λ* vs single-network bandwidth upgrade (N=1120, M=64)",
+            "factor",
+            factors,
+            columns,
+        )
+    )
+    print(
+        "  -> only the ICN2 upgrade moves λ*: the concentrator/ICN2 path is"
+        " the binding resource (paper §4)."
+    )
+
+
+def cheapest_upgrade(target_load: float) -> None:
+    message = MessageSpec(64, 256.0)
+    base_system = figure7_systems()[1]
+    rows = []
+    for role in ("icn2", "ecn1", "icn1"):
+        factor, step, found = 1.0, 0.1, None
+        while factor <= 3.0:
+            cfg = scale_network(base_system, role, factor)
+            if find_saturation_load(AnalyticalModel(cfg, message)) >= target_load:
+                found = factor
+                break
+            factor = round(factor + step, 10)
+        rows.append([role, found if found is not None else "> 3.0x"])
+    print()
+    print(
+        render_table(
+            ["network role", f"factor needed for λ* ≥ {target_load:.1e}"],
+            rows,
+            title="Cheapest single-network upgrade meeting the target",
+        )
+    )
+
+
+def main() -> None:
+    fig7_reproduction()
+    upgrade_sweep()
+    base = find_saturation_load(AnalyticalModel(figure7_systems()[1], MessageSpec(64, 256.0)))
+    cheapest_upgrade(target_load=1.3 * base)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim lets pip fall back to the legacy ``setup.py develop``
+path (``pip install -e . --no-build-isolation``); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

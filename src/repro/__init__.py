@@ -1,0 +1,62 @@
+"""repro — reproduction of Javadi et al., *Analytical Network Modeling of
+Heterogeneous Large-Scale Cluster Systems* (IEEE CLUSTER 2006).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's analytical mean-latency model,
+* :mod:`repro.topology` — the m-port n-tree fat-tree substrate with
+  deterministic Up*/Down* routing,
+* :mod:`repro.cluster` — the heterogeneous cluster-of-clusters assembly,
+* :mod:`repro.simulation` — discrete-event wormhole simulators
+  (message-level and flit-accurate) used to validate the model,
+* :mod:`repro.validation` — the paper's model-vs-simulation studies,
+* :mod:`repro.workloads` — uniform and non-uniform traffic patterns,
+* :mod:`repro.analysis` — bottleneck and what-if (Fig. 7) analyses,
+* :mod:`repro.io` — result persistence and ASCII reporting.
+
+Quickstart::
+
+    from repro import AnalyticalModel, paper_system_1120, paper_message
+
+    model = AnalyticalModel(paper_system_1120(), paper_message(32, 256))
+    print(model.evaluate(2e-4).latency)
+"""
+
+from repro.core import (
+    NET1,
+    NET2,
+    AnalyticalModel,
+    ClusterSpec,
+    MessageSpec,
+    ModelOptions,
+    ModelResult,
+    NetworkCharacteristics,
+    SystemConfig,
+    auto_load_grid,
+    find_saturation_load,
+    paper_message,
+    paper_system_544,
+    paper_system_1120,
+    sweep_load,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalModel",
+    "ModelResult",
+    "NetworkCharacteristics",
+    "ClusterSpec",
+    "SystemConfig",
+    "MessageSpec",
+    "ModelOptions",
+    "NET1",
+    "NET2",
+    "paper_system_1120",
+    "paper_system_544",
+    "paper_message",
+    "sweep_load",
+    "find_saturation_load",
+    "auto_load_grid",
+    "__version__",
+]

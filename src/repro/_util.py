@@ -1,0 +1,97 @@
+"""Small internal helpers shared across :mod:`repro`.
+
+Nothing in this module is part of the public API.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds.
+
+    Used for configuration validation so that every public constructor fails
+    fast with an actionable message instead of producing NaNs downstream.
+    """
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Validate that *value* is a finite, strictly positive number."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+
+
+def require_nonnegative(value: float, name: str) -> None:
+    """Validate that *value* is a finite, non-negative number."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value >= 0):
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+
+
+def require_int(value: int, name: str, *, minimum: int | None = None) -> None:
+    """Validate that *value* is an ``int`` (optionally ``>= minimum``)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+
+
+def is_power_of(value: int, base: int) -> bool:
+    """Return True if ``value == base**k`` for some integer ``k >= 0``."""
+    if value < 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+def integer_log(value: int, base: int) -> int:
+    """Return ``k`` such that ``base**k == value`` or raise ValueError."""
+    k = 0
+    v = value
+    while v > 1 and v % base == 0:
+        v //= base
+        k += 1
+    if v != 1:
+        raise ValueError(f"{value} is not an integer power of {base}")
+    return k
+
+
+def weighted_mean(values: Iterable[float], weights: Iterable[float]) -> float:
+    """Weighted arithmetic mean; weights need not be normalised."""
+    total = 0.0
+    wsum = 0.0
+    for v, w in zip(values, weights, strict=True):
+        total += v * w
+        wsum += w
+    if wsum == 0.0:
+        raise ValueError("weights sum to zero")
+    return total / wsum
+
+
+def cumulative_suffix_sums(values: Sequence[float]) -> list[float]:
+    """Return ``s`` with ``s[k] = sum(values[k:])`` (length ``len(values)+1``).
+
+    ``s[len(values)]`` is 0 so callers can index one-past-the-end safely.
+    """
+    out = [0.0] * (len(values) + 1)
+    for k in range(len(values) - 1, -1, -1):
+        out[k] = out[k + 1] + values[k]
+    return out
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Compact fixed/scientific formatting used by the ASCII reporters."""
+    if value != value:  # NaN
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if 1e-3 <= magnitude < 1e6:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits - 1}e}"

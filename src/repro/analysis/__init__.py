@@ -1,0 +1,37 @@
+"""Analyses on top of the model/simulator: bottlenecks, what-if, tables."""
+
+from repro.analysis.capacity import (
+    CapacityPlan,
+    headroom_report,
+    max_load_for_latency,
+    required_upgrade_factor,
+)
+from repro.analysis.knee import KneeEstimate, estimate_sim_knee
+from repro.analysis.bottleneck import (
+    BottleneckReport,
+    ResourceUtilization,
+    model_bottlenecks,
+    sim_bottlenecks,
+)
+from repro.analysis.tables import render_curves, render_series, render_table
+from repro.analysis.whatif import WhatIfCurve, WhatIfStudy, icn2_bandwidth_study, scale_network
+
+__all__ = [
+    "CapacityPlan",
+    "max_load_for_latency",
+    "required_upgrade_factor",
+    "headroom_report",
+    "KneeEstimate",
+    "estimate_sim_knee",
+    "BottleneckReport",
+    "ResourceUtilization",
+    "model_bottlenecks",
+    "sim_bottlenecks",
+    "WhatIfCurve",
+    "WhatIfStudy",
+    "icn2_bandwidth_study",
+    "scale_network",
+    "render_table",
+    "render_series",
+    "render_curves",
+]

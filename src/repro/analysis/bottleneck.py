@@ -1,0 +1,142 @@
+"""Bottleneck identification (paper §4: "the inter-cluster networks,
+especially ICN2, are the bottlenecks of the system").
+
+Two complementary views:
+
+* the **model view** enumerates every M/G/1 queue's utilisation and every
+  network's channel rate at a given load, ranks them, and names the
+  resource whose utilisation first reaches 1 as λ_g grows;
+* the **simulator view** uses measured per-group channel utilisations from
+  a run.
+
+The audit bench cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.concentrator import concentrator_pair_wait
+from repro.core.inter import inter_pair_latency
+from repro.core.intra import intra_cluster_latency
+from repro.core.model import AnalyticalModel
+from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
+from repro.core.sweep import find_saturation_load
+from repro.simulation.runner import SimulationResult
+
+__all__ = ["ResourceUtilization", "BottleneckReport", "model_bottlenecks", "sim_bottlenecks"]
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """Utilisation of one modelled resource at one load."""
+
+    resource: str
+    utilization: float
+    kind: str  # "source-queue" | "concentrator" | "channel"
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Ranked resource utilisations plus the binding resource."""
+
+    load: float
+    resources: tuple[ResourceUtilization, ...]
+    binding: ResourceUtilization
+    saturation_load: float
+
+    def top(self, count: int = 5) -> tuple[ResourceUtilization, ...]:
+        return self.resources[:count]
+
+
+def model_bottlenecks(
+    system: SystemConfig,
+    message: MessageSpec,
+    load: float,
+    *,
+    options: ModelOptions | None = None,
+) -> BottleneckReport:
+    """Enumerate and rank every modelled queue/channel utilisation at *load*."""
+    options = options or ModelOptions()
+    model = AnalyticalModel(system, message, options)
+    classes = model.cluster_classes
+    resources: list[ResourceUtilization] = []
+    m_flits = message.length_flits
+    for i, src in enumerate(classes):
+        intra = intra_cluster_latency(
+            src,
+            switch_ports=system.switch_ports,
+            generation_rate=load,
+            message=message,
+            options=options,
+        )
+        resources.append(
+            ResourceUtilization(f"{src.name}:icn1-source-queue", intra.source_utilization, "source-queue")
+        )
+        resources.append(
+            ResourceUtilization(
+                f"{src.name}:icn1-channels",
+                intra.channel_rate * m_flits * _tcs(src.icn1, message, options),
+                "channel",
+            )
+        )
+        if system.num_clusters == 1:
+            continue
+        for dst in classes:
+            pair = inter_pair_latency(
+                src,
+                dst,
+                switch_ports=system.switch_ports,
+                icn2=system.icn2,
+                icn2_tree_depth=system.icn2_tree_depth,
+                generation_rate=load,
+                message=message,
+                options=options,
+            )
+            conc = concentrator_pair_wait(
+                src,
+                dst,
+                icn2=system.icn2,
+                generation_rate=load,
+                message=message,
+                options=options,
+            )
+            pair_name = f"{src.name}->{dst.name}"
+            resources.append(
+                ResourceUtilization(f"{pair_name}:ecn1-source-queue", pair.source_utilization, "source-queue")
+            )
+            resources.append(ResourceUtilization(f"{pair_name}:concentrator", conc.utilization, "concentrator"))
+            resources.append(
+                ResourceUtilization(
+                    f"{pair_name}:ecn1-channels",
+                    pair.ecn1_channel_rate * m_flits * _tcs(src.ecn1, message, options),
+                    "channel",
+                )
+            )
+            resources.append(
+                ResourceUtilization(
+                    f"{pair_name}:icn2-channels",
+                    pair.icn2_channel_rate * m_flits * _tcs(system.icn2, message, options),
+                    "channel",
+                )
+            )
+    ranked = tuple(sorted(resources, key=lambda r: r.utilization, reverse=True))
+    return BottleneckReport(
+        load=load,
+        resources=ranked,
+        binding=ranked[0],
+        saturation_load=find_saturation_load(model),
+    )
+
+
+def _tcs(network, message, options):
+    from repro.core.service_times import switch_channel_time
+
+    del options  # t_cs has no convention ambiguity
+    return switch_channel_time(network, message.flit_bytes)
+
+
+def sim_bottlenecks(result: SimulationResult) -> tuple[ResourceUtilization, ...]:
+    """Rank the simulator's measured per-group channel utilisations."""
+    ranked = sorted(result.network_utilization.items(), key=lambda kv: kv[1], reverse=True)
+    return tuple(ResourceUtilization(name, value, "channel") for name, value in ranked)

@@ -1,0 +1,147 @@
+"""Capacity planning on top of the analytical model.
+
+Answers the questions a system designer actually asks of the paper's model
+(§4's "help system designers explore the design space"):
+
+* :func:`max_load_for_latency` — the largest per-node rate that keeps mean
+  latency within a budget;
+* :func:`required_upgrade_factor` — how much one network role must be
+  scaled for the system to sustain a target load;
+* :func:`headroom_report` — utilisation headroom of every modelled
+  resource at the operating point.
+
+All answers come from the closed-form model, so a full design-space sweep
+costs milliseconds per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require, require_positive
+from repro.analysis.bottleneck import BottleneckReport, model_bottlenecks
+from repro.analysis.whatif import scale_network
+from repro.core.model import AnalyticalModel
+from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
+from repro.core.sweep import find_saturation_load
+
+__all__ = ["CapacityPlan", "max_load_for_latency", "required_upgrade_factor", "headroom_report"]
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Answer to one planning query."""
+
+    target: float
+    achieved: float
+    feasible: bool
+    detail: str
+
+
+def max_load_for_latency(
+    system: SystemConfig,
+    message: MessageSpec,
+    latency_budget: float,
+    *,
+    options: ModelOptions | None = None,
+    rel_tol: float = 1e-4,
+) -> CapacityPlan:
+    """Largest λ_g with mean latency ≤ *latency_budget* (bisection).
+
+    The model's latency is strictly increasing in load, so the answer is
+    unique; infeasible budgets (below the zero-load latency) are reported
+    rather than raised.
+    """
+    require_positive(latency_budget, "latency_budget")
+    model = AnalyticalModel(system, message, options)
+    zero = model.zero_load_latency()
+    if latency_budget < zero:
+        return CapacityPlan(
+            target=latency_budget,
+            achieved=0.0,
+            feasible=False,
+            detail=f"budget {latency_budget:g} below zero-load latency {zero:.2f}",
+        )
+    lam_star = find_saturation_load(model)
+    lo, hi = 0.0, lam_star * 0.9999
+    if model.evaluate(hi).latency <= latency_budget:
+        return CapacityPlan(
+            target=latency_budget,
+            achieved=hi,
+            feasible=True,
+            detail="budget met arbitrarily close to the saturation load",
+        )
+    while hi - lo > rel_tol * lam_star:
+        mid = 0.5 * (lo + hi)
+        result = model.evaluate(mid)
+        if result.saturated or result.latency > latency_budget:
+            hi = mid
+        else:
+            lo = mid
+    return CapacityPlan(
+        target=latency_budget,
+        achieved=lo,
+        feasible=True,
+        detail=f"λ_max = {lo:.4e} ({lo / lam_star:.0%} of saturation)",
+    )
+
+
+def required_upgrade_factor(
+    system: SystemConfig,
+    message: MessageSpec,
+    role: str,
+    target_load: float,
+    *,
+    options: ModelOptions | None = None,
+    max_factor: float = 16.0,
+    rel_tol: float = 1e-3,
+) -> CapacityPlan:
+    """Smallest bandwidth factor on *role* giving ``λ* >= target_load``.
+
+    Saturation load is monotone non-decreasing in any network's bandwidth,
+    so bisection applies; roles that cannot reach the target within
+    *max_factor* (they are not the binding resource) are reported
+    infeasible.
+    """
+    require_positive(target_load, "target_load")
+    require(max_factor > 1.0, "max_factor must exceed 1")
+
+    def knee(factor: float) -> float:
+        cfg = system if factor == 1.0 else scale_network(system, role, factor)
+        return find_saturation_load(AnalyticalModel(cfg, message, options))
+
+    base = knee(1.0)
+    if base >= target_load:
+        return CapacityPlan(target=target_load, achieved=1.0, feasible=True, detail="no upgrade needed")
+    if knee(max_factor) < target_load:
+        return CapacityPlan(
+            target=target_load,
+            achieved=float("inf"),
+            feasible=False,
+            detail=f"{role} is not the binding resource: x{max_factor:g} still saturates at "
+            f"{knee(max_factor):.3e} < {target_load:.3e}",
+        )
+    lo, hi = 1.0, max_factor
+    while hi - lo > rel_tol * hi:
+        mid = 0.5 * (lo + hi)
+        if knee(mid) >= target_load:
+            hi = mid
+        else:
+            lo = mid
+    return CapacityPlan(
+        target=target_load,
+        achieved=hi,
+        feasible=True,
+        detail=f"{role} bandwidth x{hi:.3f} reaches λ* = {knee(hi):.3e}",
+    )
+
+
+def headroom_report(
+    system: SystemConfig,
+    message: MessageSpec,
+    operating_load: float,
+    *,
+    options: ModelOptions | None = None,
+) -> BottleneckReport:
+    """Ranked utilisations at the operating point (thin bottleneck wrapper)."""
+    return model_bottlenecks(system, message, operating_load, options=options)

@@ -1,0 +1,108 @@
+"""What-if studies on network provisioning (paper Fig. 7).
+
+The paper's design-space demonstration increases the ICN2 bandwidth by
+20 % and charts the latency improvement for both Table 1 systems.  This
+module generalises that study to arbitrary scaling factors and any of the
+three network roles, using the analytical model (as the paper does —
+"The results of analysis ... are depicted in Fig. 7").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro._util import require, require_positive
+from repro.core.model import AnalyticalModel
+from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
+from repro.core.sweep import find_saturation_load, sweep_load
+
+__all__ = ["WhatIfCurve", "WhatIfStudy", "icn2_bandwidth_study", "scale_network"]
+
+
+@dataclass(frozen=True)
+class WhatIfCurve:
+    """Model latency curve of one system variant."""
+
+    label: str
+    loads: np.ndarray
+    latencies: np.ndarray
+    saturation_load: float
+
+
+@dataclass(frozen=True)
+class WhatIfStudy:
+    """A set of comparable what-if curves over a common load grid."""
+
+    title: str
+    curves: tuple[WhatIfCurve, ...]
+
+    def saturation_gain(self, base_label: str, variant_label: str) -> float:
+        """Ratio of saturation loads (variant / base) — the knee shift."""
+        base = next(c for c in self.curves if c.label == base_label)
+        variant = next(c for c in self.curves if c.label == variant_label)
+        return variant.saturation_load / base.saturation_load
+
+
+def scale_network(system: SystemConfig, role: str, factor: float) -> SystemConfig:
+    """A copy of *system* with one network role's bandwidth scaled.
+
+    ``role`` is ``"icn2"``, ``"icn1"`` or ``"ecn1"``; the latter two scale
+    the corresponding network of every cluster.
+    """
+    require(role in ("icn2", "icn1", "ecn1"), f"unknown network role {role!r}")
+    require_positive(factor, "factor")
+    if role == "icn2":
+        return system.with_icn2(
+            system.icn2.scaled_bandwidth(factor),
+            name=f"{system.name}+icn2x{factor:g}",
+        )
+    clusters = tuple(
+        replace(
+            spec,
+            icn1=spec.icn1.scaled_bandwidth(factor) if role == "icn1" else spec.icn1,
+            ecn1=spec.ecn1.scaled_bandwidth(factor) if role == "ecn1" else spec.ecn1,
+        )
+        for spec in system.clusters
+    )
+    return replace(system, clusters=clusters, name=f"{system.name}+{role}x{factor:g}")
+
+
+def icn2_bandwidth_study(
+    systems: tuple[SystemConfig, ...],
+    message: MessageSpec,
+    *,
+    factor: float = 1.2,
+    points: int = 12,
+    grid_fraction: float = 0.9,
+    options: ModelOptions | None = None,
+) -> WhatIfStudy:
+    """Paper Fig. 7: base vs +20 % ICN2 bandwidth for each system.
+
+    All curves share a load grid derived from the *least* saturable base
+    system so the figure is directly comparable across systems, exactly as
+    the paper plots both systems on one axis.
+    """
+    require(len(systems) >= 1, "at least one system required")
+    base_models = [AnalyticalModel(s, message, options) for s in systems]
+    lam_min = min(find_saturation_load(m) for m in base_models)
+    grid = np.linspace(grid_fraction * lam_min / points, grid_fraction * lam_min, points)
+
+    curves: list[WhatIfCurve] = []
+    for system in systems:
+        for label_suffix, cfg in (
+            ("base", system),
+            (f"icn2 x{factor:g}", scale_network(system, "icn2", factor)),
+        ):
+            model = AnalyticalModel(cfg, message, options)
+            sweep = sweep_load(model, grid)
+            curves.append(
+                WhatIfCurve(
+                    label=f"N={system.total_nodes}, {label_suffix}",
+                    loads=sweep.loads,
+                    latencies=sweep.latencies,
+                    saturation_load=find_saturation_load(model),
+                )
+            )
+    return WhatIfStudy(title=f"ICN2 bandwidth study (M={message.length_flits}, d_m={message.flit_bytes:g})", curves=tuple(curves))

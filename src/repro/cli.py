@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main workflows:
+
+``describe``
+    structural summary of a paper system (Table 1 view).
+``latency``
+    evaluate the analytical model at one load (with breakdown).
+``saturation``
+    report the saturation load λ* and the binding resource.
+``sweep``
+    print a model latency curve up to the knee (a paper-figure column).
+``simulate``
+    run the discrete-event simulator at one load.
+``validate``
+    model-vs-simulation comparison across a load grid (a full figure).
+``capacity``
+    max sustainable load under a latency budget.
+``report``
+    regenerate the paper's full evaluation section (Tables 1-2, Figs. 3-7,
+    accuracy and bottleneck claims) in one document.
+
+Every command accepts ``--system {1120,544}`` plus message geometry flags;
+outputs are the same text tables the benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import model_bottlenecks, render_series, render_table
+from repro.analysis.capacity import max_load_for_latency
+from repro.core import (
+    AnalyticalModel,
+    MessageSpec,
+    find_saturation_load,
+    paper_system_544,
+    paper_system_1120,
+)
+from repro.core.sweep import auto_load_grid, sweep_load
+
+__all__ = ["main", "build_parser"]
+
+_SYSTEMS = {"1120": paper_system_1120, "544": paper_system_544}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analytical network model of heterogeneous cluster-of-clusters "
+        "systems (Javadi et al., CLUSTER 2006) — reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--system", choices=sorted(_SYSTEMS), default="1120", help="paper Table 1 organisation")
+        p.add_argument("--flits", type=int, default=32, help="message length M in flits")
+        p.add_argument("--flit-bytes", type=float, default=256.0, help="flit size d_m in bytes")
+
+    p = sub.add_parser("describe", help="structural summary of the system")
+    common(p)
+
+    p = sub.add_parser("latency", help="model latency at one load")
+    common(p)
+    p.add_argument("--load", type=float, required=True, help="per-node rate λ_g")
+
+    p = sub.add_parser("saturation", help="saturation load and binding resource")
+    common(p)
+
+    p = sub.add_parser("sweep", help="model latency curve up to the knee")
+    common(p)
+    p.add_argument("--points", type=int, default=10)
+
+    p = sub.add_parser("simulate", help="discrete-event simulation at one load")
+    common(p)
+    p.add_argument("--load", type=float, required=True)
+    p.add_argument("--messages", type=int, default=10_000, help="measured messages")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--granularity", choices=["message", "flit"], default="message")
+
+    p = sub.add_parser("validate", help="model vs simulation across a load grid")
+    common(p)
+    p.add_argument("--points", type=int, default=5)
+    p.add_argument("--messages", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("capacity", help="max load within a latency budget")
+    common(p)
+    p.add_argument("--budget", type=float, required=True, help="mean-latency budget (time units)")
+
+    p = sub.add_parser("report", help="regenerate the paper's full evaluation section")
+    p.add_argument("--messages", type=int, default=10_000, help="measured messages per sim point")
+    p.add_argument("--points", type=int, default=6, help="loads per curve")
+    p.add_argument("--model-only", action="store_true", help="skip simulations (seconds instead of minutes)")
+    return parser
+
+
+def _setup(args) -> tuple:
+    system = _SYSTEMS[args.system]()
+    message = MessageSpec(args.flits, args.flit_bytes)
+    return system, message
+
+
+def _cmd_describe(args) -> str:
+    system, message = _setup(args)
+    model = AnalyticalModel(system, message)
+    rows = [
+        [c.name, c.count, c.tree_depth, c.nodes, f"{c.u:.4f}"]
+        for c in model.cluster_classes
+    ]
+    head = (
+        f"{system.name}: N={system.total_nodes}, C={system.num_clusters}, "
+        f"m={system.switch_ports}, n_c={system.icn2_tree_depth}\n"
+    )
+    return head + render_table(["class", "count", "n_i", "N_i", "U_i (Eq.2)"], rows)
+
+
+def _cmd_latency(args) -> str:
+    system, message = _setup(args)
+    result = AnalyticalModel(system, message).evaluate(args.load)
+    if result.saturated:
+        return f"SATURATED at λ_g={args.load:g}: {', '.join(sorted(set(result.saturated_resources))[:4])}"
+    rows = [
+        [c.name, c.intra.total, c.inter_network, c.concentrator_wait, c.mean]
+        for c in result.clusters
+    ]
+    table = render_table(["class", "L_in", "L_ex", "W_d", "mean (Eq.1)"], rows)
+    return f"mean message latency (Eq.3): {result.latency:.3f}\n\n{table}"
+
+
+def _cmd_saturation(args) -> str:
+    system, message = _setup(args)
+    model = AnalyticalModel(system, message)
+    lam_star = find_saturation_load(model)
+    report = model_bottlenecks(system, message, 0.9 * lam_star)
+    return (
+        f"saturation load λ* = {lam_star:.4e} messages/node/time-unit\n"
+        f"binding resource   = {report.binding.resource} ({report.binding.kind}, "
+        f"ρ={report.binding.utilization:.3f} at 0.9 λ*)"
+    )
+
+
+def _cmd_sweep(args) -> str:
+    system, message = _setup(args)
+    model = AnalyticalModel(system, message)
+    grid = auto_load_grid(model, points=args.points)
+    sweep = sweep_load(model, grid)
+    return render_series(
+        f"model latency, {system.name}, M={message.length_flits}, d_m={message.flit_bytes:g}",
+        "lambda_g",
+        list(sweep.loads),
+        {"latency": list(sweep.latencies)},
+    )
+
+
+def _cmd_simulate(args) -> str:
+    from repro.simulation import MeasurementWindow, SimulationSession
+
+    system, message = _setup(args)
+    session = SimulationSession(system, message)
+    result = session.run(
+        args.load,
+        seed=args.seed,
+        window=MeasurementWindow.scaled_paper(args.messages),
+        granularity=args.granularity,
+    )
+    util = ", ".join(f"{k}={v:.3f}" for k, v in sorted(result.network_utilization.items()))
+    return (
+        f"simulated mean latency: {result.mean_latency:.3f} "
+        f"(p95={result.stats.p95:.2f}, n={result.stats.count}, "
+        f"intra={result.stats.mean_intra:.2f}, inter={result.stats.mean_inter:.2f})\n"
+        f"events={result.events}, wall={result.wall_seconds:.2f}s, completed={result.completed}\n"
+        f"utilization: {util}"
+    )
+
+
+def _cmd_validate(args) -> str:
+    from repro.io import format_validation_curve
+    from repro.simulation import MeasurementWindow
+    from repro.validation import default_load_grid, run_validation
+
+    system, message = _setup(args)
+    grid = default_load_grid(system, message, points=args.points)
+    curve = run_validation(
+        system,
+        message,
+        grid,
+        seed=args.seed,
+        window=MeasurementWindow.scaled_paper(args.messages),
+    )
+    return format_validation_curve(curve)
+
+
+def _cmd_report(args) -> str:
+    from repro.validation import reproduction_report
+
+    report = reproduction_report(
+        messages_per_point=args.messages,
+        points_per_curve=args.points,
+        include_simulation=not args.model_only,
+    )
+    return report.text
+
+
+def _cmd_capacity(args) -> str:
+    system, message = _setup(args)
+    plan = max_load_for_latency(system, message, args.budget)
+    status = "feasible" if plan.feasible else "INFEASIBLE"
+    return f"{status}: λ_max = {plan.achieved:.4e}\n{plan.detail}"
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "latency": _cmd_latency,
+    "saturation": _cmd_saturation,
+    "sweep": _cmd_sweep,
+    "simulate": _cmd_simulate,
+    "validate": _cmd_validate,
+    "capacity": _cmd_capacity,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(_COMMANDS[args.command](args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Cluster-of-clusters assembly: explicit fabric, organisations, pathing."""
+
+from repro.cluster.channels import Concentrator, NetworkTag, SystemChannel, SystemEndpoint
+from repro.cluster.organizations import (
+    homogeneous_system,
+    organization_string,
+    paper_organizations,
+    random_heterogeneous_system,
+    table1_rows,
+)
+from repro.cluster.pathing import PathSegment, SystemPath, build_path, inter_path, intra_path
+from repro.cluster.system import ClusterInstance, GlobalNodeId, HeterogeneousSystem
+
+__all__ = [
+    "Concentrator",
+    "SystemChannel",
+    "SystemEndpoint",
+    "NetworkTag",
+    "HeterogeneousSystem",
+    "ClusterInstance",
+    "GlobalNodeId",
+    "PathSegment",
+    "SystemPath",
+    "build_path",
+    "intra_path",
+    "inter_path",
+    "homogeneous_system",
+    "random_heterogeneous_system",
+    "organization_string",
+    "table1_rows",
+    "paper_organizations",
+]

@@ -1,0 +1,63 @@
+"""System-wide channel identities for the cluster-of-clusters fabric.
+
+Every directed channel in the system is identified by the network it
+belongs to plus its two endpoints.  Networks are tagged:
+
+* ``("icn1", i)`` — intra-communication network of cluster ``i``,
+* ``("ecn1", i)`` — inter-communication network of cluster ``i``,
+* ``("icn2",)``  — the global inter-cluster network.
+
+Concentrator/dispatchers appear as the endpoint ``Concentrator(i)``: they
+receive from their ECN1's designated root switch and inject into it, and
+simultaneously occupy node slot ``i`` of the ICN2 tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.topology.addressing import NodeAddress, SwitchAddress
+from repro.topology.mport_ntree import ChannelKind, Link
+
+__all__ = ["Concentrator", "SystemEndpoint", "SystemChannel", "NetworkTag"]
+
+NetworkTag = tuple
+
+
+@dataclass(frozen=True, order=True)
+class Concentrator:
+    """The concentrator/dispatcher of one cluster (paper Fig. 2)."""
+
+    cluster_index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"cd{self.cluster_index}"
+
+
+SystemEndpoint = Union[NodeAddress, SwitchAddress, Concentrator]
+
+
+@dataclass(frozen=True)
+class SystemChannel:
+    """A directed channel of the assembled system.
+
+    ``kind`` selects the service-time primitive (``t_cn`` for any link with
+    a node-like endpoint — processing node or concentrator — and ``t_cs``
+    for switch↔switch links); ``network`` selects whose characteristics
+    apply.
+    """
+
+    network: NetworkTag
+    source: SystemEndpoint
+    target: SystemEndpoint
+    kind: ChannelKind
+
+    @classmethod
+    def from_link(cls, network: NetworkTag, link: Link) -> "SystemChannel":
+        """Tag a tree-local :class:`~repro.topology.mport_ntree.Link`."""
+        return cls(network=network, source=link.source, target=link.target, kind=link.kind)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        net = ":".join(str(p) for p in self.network)
+        return f"{net}//{self.source}->{self.target}"

@@ -1,0 +1,113 @@
+"""System organisations: paper Table 1 plus parametric generators.
+
+The two paper organisations live in :mod:`repro.core.parameters`
+(:func:`~repro.core.parameters.paper_system_1120`,
+:func:`~repro.core.parameters.paper_system_544`); this module renders them
+as the paper's Table 1 rows and provides generators for additional
+homogeneous / random-heterogeneous organisations used by examples, tests
+and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import require, require_int
+from repro.core.parameters import (
+    NET1,
+    NET2,
+    ClusterSpec,
+    NetworkCharacteristics,
+    SystemConfig,
+    paper_system_544,
+    paper_system_1120,
+)
+
+__all__ = [
+    "table1_rows",
+    "organization_string",
+    "homogeneous_system",
+    "random_heterogeneous_system",
+    "paper_organizations",
+]
+
+
+def organization_string(config: SystemConfig) -> str:
+    """Compact ``n_i`` run-length description, e.g. ``"n=1 x12, n=2 x16, n=3 x4"``."""
+    runs: list[tuple[int, int]] = []
+    for spec in config.clusters:
+        if runs and runs[-1][0] == spec.tree_depth:
+            runs[-1] = (spec.tree_depth, runs[-1][1] + 1)
+        else:
+            runs.append((spec.tree_depth, 1))
+    return ", ".join(f"n={depth} x{count}" for depth, count in runs)
+
+
+def table1_rows() -> list[dict]:
+    """Paper Table 1 as structured rows (N, C, m, node organisation)."""
+    rows = []
+    for config in paper_organizations():
+        rows.append(
+            {
+                "N": config.total_nodes,
+                "C": config.num_clusters,
+                "m": config.switch_ports,
+                "organization": organization_string(config),
+            }
+        )
+    return rows
+
+
+def paper_organizations() -> tuple[SystemConfig, SystemConfig]:
+    """Both Table 1 systems, in the paper's order."""
+    return (paper_system_1120(), paper_system_544())
+
+
+def homogeneous_system(
+    *,
+    switch_ports: int,
+    tree_depth: int,
+    num_clusters: int,
+    icn1: NetworkCharacteristics = NET1,
+    ecn1: NetworkCharacteristics = NET2,
+    icn2: NetworkCharacteristics = NET1,
+    name: str | None = None,
+) -> SystemConfig:
+    """A cluster-of-clusters with identical clusters (the [11]-style baseline)."""
+    require_int(num_clusters, "num_clusters", minimum=1)
+    clusters = tuple(
+        ClusterSpec(tree_depth=tree_depth, icn1=icn1, ecn1=ecn1, name=f"c{i}")
+        for i in range(num_clusters)
+    )
+    return SystemConfig(
+        switch_ports=switch_ports,
+        clusters=clusters,
+        icn2=icn2,
+        name=name or f"homog-m{switch_ports}-n{tree_depth}-C{num_clusters}",
+    )
+
+
+def random_heterogeneous_system(
+    rng: np.random.Generator,
+    *,
+    switch_ports: int,
+    num_clusters: int,
+    min_depth: int = 1,
+    max_depth: int = 3,
+    icn1: NetworkCharacteristics = NET1,
+    ecn1: NetworkCharacteristics = NET2,
+    icn2: NetworkCharacteristics = NET1,
+) -> SystemConfig:
+    """A random organisation with i.i.d. cluster depths (for property tests)."""
+    require(min_depth >= 1 and max_depth >= min_depth, "invalid depth range")
+    depths = rng.integers(min_depth, max_depth + 1, size=num_clusters)
+    clusters = tuple(
+        ClusterSpec(tree_depth=int(depth), icn1=icn1, ecn1=ecn1, name=f"c{i}")
+        for i, depth in enumerate(depths)
+    )
+    return SystemConfig(
+        switch_ports=switch_ports,
+        clusters=clusters,
+        icn2=icn2,
+        name=f"random-m{switch_ports}-C{num_clusters}",
+    )

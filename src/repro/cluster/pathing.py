@@ -1,0 +1,125 @@
+"""End-to-end path construction across the cluster-of-clusters fabric.
+
+A message's journey is a sequence of **segments**, each traversed with
+wormhole flow control; segments are separated by the store-and-forward
+concentrator/dispatcher buffers (paper Fig. 2, DESIGN.md §4):
+
+* intra-cluster: one segment through ICN1(i);
+* inter-cluster: ECN1(i) ascent to the concentrator, ICN2 crossing between
+  concentrators, ECN1(j) descent from the dispatcher to the destination.
+
+Each segment is a list of :class:`~repro.cluster.channels.SystemChannel`
+in traversal order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require
+from repro.cluster.channels import SystemChannel
+from repro.cluster.system import GlobalNodeId, HeterogeneousSystem
+from repro.topology.mport_ntree import ChannelKind, Link
+from repro.topology.routing import ascend_to_root, descend_from_root, home_root, route
+
+__all__ = ["PathSegment", "SystemPath", "build_path", "intra_path", "inter_path"]
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One wormhole leg of a journey."""
+
+    label: str  # "icn1" | "ecn1-up" | "icn2" | "ecn1-down"
+    channels: tuple[SystemChannel, ...]
+
+    @property
+    def num_links(self) -> int:
+        return len(self.channels)
+
+
+@dataclass(frozen=True)
+class SystemPath:
+    """A complete source→destination journey."""
+
+    source: GlobalNodeId
+    destination: GlobalNodeId
+    segments: tuple[PathSegment, ...]
+
+    @property
+    def is_inter_cluster(self) -> bool:
+        return len(self.segments) > 1
+
+    @property
+    def total_links(self) -> int:
+        return sum(s.num_links for s in self.segments)
+
+
+def _tag(network: tuple, links: tuple[Link, ...]) -> tuple[SystemChannel, ...]:
+    return tuple(SystemChannel.from_link(network, link) for link in links)
+
+
+def intra_path(system: HeterogeneousSystem, source: GlobalNodeId, destination: GlobalNodeId) -> SystemPath:
+    """Route a message that stays inside its cluster (through ICN1)."""
+    src_cluster, src_addr = system.locate(source)
+    dst_cluster, dst_addr = system.locate(destination)
+    require(src_cluster.index == dst_cluster.index, "intra_path requires same-cluster endpoints")
+    require(source != destination, "source and destination must differ")
+    tree_route = route(src_cluster.icn1, src_addr, dst_addr)
+    segment = PathSegment("icn1", _tag(("icn1", src_cluster.index), tree_route.links))
+    return SystemPath(source, destination, (segment,))
+
+
+def inter_path(system: HeterogeneousSystem, source: GlobalNodeId, destination: GlobalNodeId) -> SystemPath:
+    """Route a message between clusters: ECN1(i) → ICN2 → ECN1(j).
+
+    The ECN1 legs use the deterministic climb to / descent from the
+    designated root switch the concentrator attaches to; the ICN2 leg is a
+    normal Up*/Down* route between the two concentrators' node slots.
+    """
+    src_cluster, src_addr = system.locate(source)
+    dst_cluster, dst_addr = system.locate(destination)
+    require(src_cluster.index != dst_cluster.index, "inter_path requires different clusters")
+
+    i, j = src_cluster.index, dst_cluster.index
+    cd_i, cd_j = system.concentrator(i), system.concentrator(j)
+
+    # Leg 1: source node up through ECN1(i) to its concentrator, via the
+    # source's home root (spreads concentrate traffic over the roots).
+    src_root = home_root(src_cluster.ecn1, src_addr)
+    up = ascend_to_root(src_cluster.ecn1, src_addr, src_root)
+    up_channels = _tag(("ecn1", i), up.links) + (
+        SystemChannel(("ecn1", i), src_root, cd_i, ChannelKind.SWITCH_TO_NODE),
+    )
+
+    # Leg 2: concentrator i to concentrator j through ICN2.
+    icn2_route = route(system.icn2, system.icn2_address(i), system.icn2_address(j))
+    icn2_channels = tuple(
+        SystemChannel.from_link(("icn2",), system._substitute_concentrators(link))
+        for link in icn2_route.links
+    )
+
+    # Leg 3: dispatcher j down through ECN1(j) to the destination node, via
+    # the destination's home root (spreads dispatch traffic over the roots).
+    dst_root = home_root(dst_cluster.ecn1, dst_addr)
+    down = descend_from_root(dst_cluster.ecn1, dst_root, dst_addr)
+    down_channels = (
+        SystemChannel(("ecn1", j), cd_j, dst_root, ChannelKind.NODE_TO_SWITCH),
+    ) + _tag(("ecn1", j), down.links)
+
+    return SystemPath(
+        source,
+        destination,
+        (
+            PathSegment("ecn1-up", up_channels),
+            PathSegment("icn2", icn2_channels),
+            PathSegment("ecn1-down", down_channels),
+        ),
+    )
+
+
+def build_path(system: HeterogeneousSystem, source: GlobalNodeId, destination: GlobalNodeId) -> SystemPath:
+    """Dispatch to :func:`intra_path` or :func:`inter_path`."""
+    src_cluster = system.cluster_of(source)
+    if src_cluster.contains_global(destination):
+        return intra_path(system, source, destination)
+    return inter_path(system, source, destination)

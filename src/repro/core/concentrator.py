@@ -1,0 +1,71 @@
+"""Concentrator/dispatcher queueing model (paper Eqs. 36–38).
+
+The concentrator/dispatcher of a cluster bridges its ECN1 and the global
+ICN2 with simple store-and-forward buffers.  Both the concentrate buffer
+(into ICN2) and the dispatch buffer (out of ICN2) are modelled as M/G/1
+queues with mean service ``M·t_cs^{I2}`` and the Eq. 36 variance
+``(M t_cs^{I2} − M t_cs^{E1(i)})²`` that captures the bandwidth mismatch
+between the two networks they interface.
+
+These queues are the binding resource of the whole system: their
+saturation load ``λ_g* = 2 / ((N_i U_i + N_j U_j) · M · t_cs^{I2})``
+reproduces the x-axis ranges of the paper's Figs. 3–7 (DESIGN.md §3
+item 7) and underlies the paper's "ICN2 is the bottleneck" conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.inter import pair_rates
+from repro.core.parameters import ClusterClass, MessageSpec, ModelOptions, NetworkCharacteristics
+from repro.core.queueing import mg1_wait
+from repro.core.service_times import ServiceTimes
+
+__all__ = ["ConcentratorWait", "concentrator_pair_wait"]
+
+
+@dataclass(frozen=True)
+class ConcentratorWait:
+    """Waiting-time contribution of the concentrator/dispatcher pair."""
+
+    single_buffer_wait: float  # W_c^{(i,j)}  (Eq. 37)
+    pair_wait: float  # 2 W_c^{(i,j)} — concentrate + dispatch (Eq. 38 summand)
+    arrival_rate: float  # λ_I2^{(i,j)}
+    utilization: float
+    saturated: bool
+
+
+def concentrator_pair_wait(
+    source: ClusterClass,
+    destination: ClusterClass,
+    *,
+    icn2: NetworkCharacteristics,
+    generation_rate: float,
+    message: MessageSpec,
+    options: ModelOptions | None = None,
+) -> ConcentratorWait:
+    """Evaluate Eqs. 36–37 for one ordered cluster-class pair at λ_g."""
+    options = options or ModelOptions()
+    m_flits = message.length_flits
+    st_i2 = ServiceTimes.for_network(icn2, message, options)
+    st_e1 = ServiceTimes.for_network(source.ecn1, message, options)
+
+    if options.concentrator_rate == "source_outgoing":
+        lambda_i2 = generation_rate * source.nodes * source.u
+    else:
+        _, lambda_i2 = pair_rates(source, destination, generation_rate)
+    service = m_flits * st_i2.t_cs
+    if options.variance_approximation == "paper":
+        variance = (service - m_flits * st_e1.t_cs) ** 2  # Eq. 36
+    else:
+        variance = service**2
+    queue = mg1_wait(lambda_i2, service, variance)
+    pair_wait = 2.0 * queue.wait if not queue.saturated else float("inf")
+    return ConcentratorWait(
+        single_buffer_wait=queue.wait,
+        pair_wait=pair_wait,
+        arrival_rate=lambda_i2,
+        utilization=queue.utilization,
+        saturated=queue.saturated,
+    )

@@ -1,0 +1,156 @@
+"""Inter-cluster latency model (paper §3.2, Eqs. 20–35).
+
+An inter-cluster message from cluster ``i`` to cluster ``j`` traverses, as
+one merged wormhole pipeline, the ECN1(i) (``r`` links), the global ICN2
+(``2l`` links) and the destination's ECN1(j) (``v`` links), with the
+journey-length components distributed per Eq. 21.  The pipeline has
+``K = r + v + 2l - 1`` stages whose per-flit times follow Eq. 30 and whose
+channel rates follow Eq. 27 (ICN2 stages use the relaxed rate ``η_I2 δ_i``).
+
+The per-pair mean ``L_ex^{(i,j)} = W_ex + T_ex + E_ex`` (Eq. 32) is then
+averaged over destination clusters (Eq. 35) by :mod:`repro.core.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import ClusterClass, MessageSpec, ModelOptions, NetworkCharacteristics
+from repro.core.queueing import mg1_wait
+from repro.core.service_times import ServiceTimes
+from repro.core.stages import StagePipeline, solve_pipeline
+from repro.core.topology_math import journey_length_pmf, mean_journey_links
+
+__all__ = ["InterPairLatency", "inter_pair_latency", "pair_rates"]
+
+
+@dataclass(frozen=True)
+class InterPairLatency:
+    """Breakdown of ``L_ex^{(i,j)}`` for one ordered cluster-class pair."""
+
+    source_wait: float  # W_ex  (Eq. 31)
+    network_latency: float  # T_ex  (Eq. 20)
+    tail_time: float  # E_ex  (Eq. 33)
+    total: float  # L_ex^{(i,j)}  (Eq. 32)
+    ecn1_rate: float  # λ_E1^{(i,j)}  (Eq. 22)
+    icn2_rate: float  # λ_I2^{(i,j)}  (Eq. 23)
+    ecn1_channel_rate: float  # η_E1^{(i,j)}  (Eq. 24)
+    icn2_channel_rate: float  # η_I2^{(i,j)}  (Eq. 25)
+    relaxing_factor: float  # δ_i  (Eq. 28)
+    source_utilization: float
+    saturated: bool
+
+
+def pair_rates(
+    source: ClusterClass,
+    destination: ClusterClass,
+    generation_rate: float,
+) -> tuple[float, float]:
+    """Eqs. 22–23: ECN1 and ICN2/concentrator rates for a cluster pair.
+
+    ``λ_E1 = λ_g (N_i U_i + N_j U_j)`` — an ECN1 carries both directions of
+    its cluster's external traffic; ``λ_I2 = λ_E1 / 2`` — one concentrator's
+    (single-direction) share.  DESIGN.md §3 item 7 derives the ``/2`` from
+    the saturation points of Figs. 3–7.
+    """
+    external = source.nodes * source.u + destination.nodes * destination.u
+    lambda_e1 = generation_rate * external
+    return lambda_e1, 0.5 * lambda_e1
+
+
+def inter_pair_latency(
+    source: ClusterClass,
+    destination: ClusterClass,
+    *,
+    switch_ports: int,
+    icn2: NetworkCharacteristics,
+    icn2_tree_depth: int,
+    generation_rate: float,
+    message: MessageSpec,
+    options: ModelOptions | None = None,
+) -> InterPairLatency:
+    """Evaluate Eqs. 20–34 for one ordered cluster-class pair at λ_g."""
+    options = options or ModelOptions()
+    m_flits = message.length_flits
+    n_i, n_j, n_c = source.tree_depth, destination.tree_depth, icn2_tree_depth
+
+    st_src = ServiceTimes.for_network(source.ecn1, message, options)
+    st_dst = ServiceTimes.for_network(destination.ecn1, message, options)
+    st_i2 = ServiceTimes.for_network(icn2, message, options)
+
+    lambda_e1, lambda_i2 = pair_rates(source, destination, generation_rate)
+
+    # Eq. 24: per-channel rate in the source's ECN1 (its own geometry).
+    d_e1 = mean_journey_links(switch_ports, n_i)
+    eta_e1 = lambda_e1 * d_e1 / (4.0 * n_i * source.nodes)
+    # Eq. 25: per-channel rate in ICN2 (paper denominator is 4 n_c; the
+    # pairwise λ_I2 already carries the 1/C share of the total load).
+    d_i2 = mean_journey_links(switch_ports, n_c)
+    eta_i2 = lambda_i2 * d_i2 / (4.0 * n_c)
+    # Eq. 28: relaxing factor — ICN2 waits shrink when ICN2 is faster.
+    delta = (icn2.beta / source.ecn1.beta) if options.relaxing_factor else 1.0
+    eta_i2_eff = eta_i2 * delta
+
+    pmf_r = journey_length_pmf(switch_ports, n_i)
+    pmf_v = journey_length_pmf(switch_ports, n_j)
+    pmf_l = journey_length_pmf(switch_ports, n_c)
+
+    # Eqs. 20-21, 26-30, 33-34: average over every (r, v, l) journey.
+    network_latency = 0.0
+    tail_time = 0.0
+    for r in range(1, n_i + 1):
+        p_r = float(pmf_r[r - 1])
+        for v in range(1, n_j + 1):
+            p_rv = p_r * float(pmf_v[v - 1])
+            for l_hops in range(1, n_c + 1):
+                weight = p_rv * float(pmf_l[l_hops - 1])
+                k_stages = r + v + 2 * l_hops - 1
+                icn2_lo, icn2_hi = r, r + 2 * l_hops - 1  # Eq. 30 ranges
+                flit_times = np.empty(k_stages, dtype=np.float64)
+                rates = np.full(k_stages, eta_e1, dtype=np.float64)
+                flit_times[:icn2_lo] = st_src.t_cs
+                flit_times[icn2_lo:icn2_hi] = st_i2.t_cs
+                flit_times[icn2_hi:] = st_dst.t_cs
+                flit_times[k_stages - 1] = st_dst.t_cn  # Eq. 29 final stage
+                rates[icn2_lo:icn2_hi] = eta_i2_eff  # Eq. 27
+                solution = solve_pipeline(StagePipeline(flit_times, rates), m_flits)
+                network_latency += weight * solution.network_latency
+                # Eq. 34: tail catch-up across the three segments.
+                tail = (
+                    (r - 1) * st_src.t_cs
+                    + (v - 1) * st_dst.t_cs
+                    + 2 * l_hops * st_i2.t_cs
+                    + st_dst.t_cn
+                )
+                tail_time += weight * tail
+
+    # Eq. 31: source queue for inter traffic (per-injection-port rate by
+    # default; see DESIGN.md §3 item 8 for why the literal pair rate is
+    # kept only as an ablation).
+    if options.source_queue_rate == "aggregate_pair":
+        source_rate = lambda_e1
+    else:
+        source_rate = generation_rate * source.u
+    min_service = m_flits * st_src.t_cn
+    if options.variance_approximation == "paper":
+        variance = (network_latency - min_service) ** 2
+    else:
+        variance = network_latency**2
+    queue = mg1_wait(source_rate, network_latency, variance)
+
+    total = queue.wait + network_latency + tail_time
+    return InterPairLatency(
+        source_wait=queue.wait,
+        network_latency=network_latency,
+        tail_time=tail_time,
+        total=total,
+        ecn1_rate=lambda_e1,
+        icn2_rate=lambda_i2,
+        ecn1_channel_rate=eta_e1,
+        icn2_channel_rate=eta_i2,
+        relaxing_factor=delta,
+        source_utilization=queue.utilization,
+        saturated=queue.saturated,
+    )

@@ -1,0 +1,113 @@
+"""Intra-cluster latency model (paper §3.1, Eqs. 4–19).
+
+A message that stays inside cluster ``i`` crosses only the ICN1(i) network.
+Its mean latency decomposes as ``L_in = W_in + T_in + E_in``:
+
+* ``T_in`` — mean network latency of the header across the stage pipeline
+  (Eqs. 5, 13, 14), averaged over the journey-length pmf (Eq. 6);
+* ``W_in`` — mean wait at the source queue, an M/G/1 with the Eq. 17
+  variance approximation (Eqs. 15–18);
+* ``E_in`` — mean time for the tail flit to arrive after the header
+  (Eq. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import ClusterClass, MessageSpec, ModelOptions
+from repro.core.queueing import mg1_wait
+from repro.core.service_times import ServiceTimes
+from repro.core.stages import StagePipeline, solve_pipeline
+from repro.core.topology_math import journey_length_pmf, mean_journey_links
+
+__all__ = ["IntraClusterLatency", "intra_cluster_latency"]
+
+
+@dataclass(frozen=True)
+class IntraClusterLatency:
+    """Breakdown of the mean intra-cluster message latency of one cluster."""
+
+    source_wait: float  # W_in  (Eq. 18)
+    network_latency: float  # T_in  (Eq. 5)
+    tail_time: float  # E_in  (Eq. 19)
+    total: float  # L_in  (Eq. 4)
+    aggregate_rate: float  # λ_I1  (Eq. 7)
+    channel_rate: float  # η_I1  (Eq. 10)
+    source_utilization: float  # ρ of the source queue
+    saturated: bool
+
+    @property
+    def blocking_fraction(self) -> float:
+        """Share of ``L_in`` not explained by pure transmission (contention)."""
+        if not np.isfinite(self.total) or self.total == 0:
+            return float("nan")
+        return self.source_wait / self.total
+
+
+def intra_cluster_latency(
+    cluster: ClusterClass,
+    *,
+    switch_ports: int,
+    generation_rate: float,
+    message: MessageSpec,
+    options: ModelOptions | None = None,
+) -> IntraClusterLatency:
+    """Evaluate Eqs. 4–19 for one cluster class at per-node load λ_g.
+
+    ``cluster.u`` supplies Eq. 2's outgoing probability; only the
+    ``1 - u`` fraction of each node's traffic enters ICN1.
+    """
+    options = options or ModelOptions()
+    m_flits = message.length_flits
+    n_depth = cluster.tree_depth
+    st = ServiceTimes.for_network(cluster.icn1, message, options)
+
+    pmf = journey_length_pmf(switch_ports, n_depth)
+    intra_fraction = 1.0 - cluster.u
+
+    # Eq. 7: aggregate message rate entering ICN1(i).
+    lambda_i1 = cluster.nodes * generation_rate * intra_fraction
+    # Eqs. 8-10: per-channel rate.
+    mean_links = mean_journey_links(switch_ports, n_depth)
+    eta_i1 = lambda_i1 * mean_links / (4.0 * n_depth * cluster.nodes)
+
+    # Eqs. 5, 13, 14: network latency averaged over journey lengths.
+    network_latency = 0.0
+    for h in range(1, n_depth + 1):
+        k_stages = 2 * h - 1
+        flit_times = np.full(k_stages, st.t_cs, dtype=np.float64)
+        flit_times[-1] = st.t_cn
+        rates = np.full(k_stages, eta_i1, dtype=np.float64)
+        solution = solve_pipeline(StagePipeline(flit_times, rates), m_flits)
+        network_latency += float(pmf[h - 1]) * solution.network_latency
+
+    # Eq. 19: tail-flit catch-up time.
+    h_values = np.arange(1, n_depth + 1, dtype=np.float64)
+    tail_time = float(np.sum(pmf * (2.0 * (h_values - 1.0) * st.t_cs + st.t_cn)))
+
+    # Eqs. 15-18: source queue (M/G/1).
+    if options.source_queue_rate == "per_node":
+        source_rate = generation_rate * intra_fraction
+    else:  # "paper" and "aggregate_pair" keep Eq. 18's aggregate rate
+        source_rate = lambda_i1
+    min_service = m_flits * st.t_cn
+    if options.variance_approximation == "paper":
+        variance = (network_latency - min_service) ** 2  # Eq. 17
+    else:
+        variance = network_latency**2  # exponential-service alternative
+    queue = mg1_wait(source_rate, network_latency, variance)
+
+    total = queue.wait + network_latency + tail_time
+    return IntraClusterLatency(
+        source_wait=queue.wait,
+        network_latency=network_latency,
+        tail_time=tail_time,
+        total=total,
+        aggregate_rate=lambda_i1,
+        channel_rate=eta_i1,
+        source_utilization=queue.utilization,
+        saturated=queue.saturated,
+    )

@@ -1,0 +1,56 @@
+"""M/G/1 queueing primitives used by the model's source and concentrator queues.
+
+The paper models every injection queue and the concentrator/dispatcher
+buffers as M/G/1 queues (Kleinrock, Eq. 15):
+
+    W = λ (x̄² + σ²) / (2 (1 − ρ)),   ρ = λ x̄
+
+Saturation (``ρ >= 1``) is the only mechanism by which the analytical model
+diverges; channel waits (Eq. 13) grow polynomially but never blow up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require_nonnegative
+
+__all__ = ["MG1Result", "mg1_wait"]
+
+
+@dataclass(frozen=True)
+class MG1Result:
+    """Outcome of one M/G/1 evaluation."""
+
+    wait: float
+    utilization: float
+    saturated: bool
+
+    def __post_init__(self) -> None:
+        if self.saturated and self.wait != float("inf"):
+            raise ValueError("a saturated queue must report an infinite wait")
+
+
+def mg1_wait(arrival_rate: float, mean_service: float, service_variance: float) -> MG1Result:
+    """Mean waiting time of an M/G/1 queue (paper Eq. 15).
+
+    Returns an infinite wait with ``saturated=True`` once ``ρ = λ x̄ >= 1``
+    instead of raising, so sweeps can chart the approach to saturation.
+    An infinite *mean_service* (a blown-up upstream pipeline) is likewise
+    reported as saturation whenever any traffic arrives.
+    """
+    require_nonnegative(arrival_rate, "arrival_rate")
+    if mean_service == float("inf") or service_variance == float("inf"):
+        if arrival_rate == 0.0:
+            return MG1Result(wait=0.0, utilization=0.0, saturated=False)
+        return MG1Result(wait=float("inf"), utilization=float("inf"), saturated=True)
+    require_nonnegative(mean_service, "mean_service")
+    require_nonnegative(service_variance, "service_variance")
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        return MG1Result(wait=float("inf"), utilization=rho, saturated=True)
+    if arrival_rate == 0.0:
+        return MG1Result(wait=0.0, utilization=0.0, saturated=False)
+    second_moment = mean_service * mean_service + service_variance
+    wait = arrival_rate * second_moment / (2.0 * (1.0 - rho))
+    return MG1Result(wait=wait, utilization=rho, saturated=False)

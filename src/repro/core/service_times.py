@@ -1,0 +1,85 @@
+"""Channel service-time primitives (paper Eqs. 11–12).
+
+Two connection types exist in an m-port n-tree:
+
+* node↔switch (``t_cn``) — the first and last hop of every journey,
+* switch↔switch (``t_cs``) — every interior hop.
+
+Both the analytical model and the simulators consume these primitives, so
+the model-vs-simulation comparison is invariant to the OCR-ambiguous
+``t_cn`` convention (DESIGN.md §3 item 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require, require_positive
+from repro.core.parameters import MessageSpec, ModelOptions, NetworkCharacteristics
+
+__all__ = ["node_channel_time", "switch_channel_time", "ServiceTimes"]
+
+
+def node_channel_time(
+    network: NetworkCharacteristics,
+    flit_bytes: float,
+    convention: str = "half_network_latency",
+) -> float:
+    """Per-flit service time of a node↔switch channel (paper Eq. 11).
+
+    ``t_cn = 0.5 α_n + β_n d_m`` under the default convention (local links
+    incur half the network latency; serialising the flit is never halved).
+    ``"full_network_latency"`` uses ``α_n + β_n d_m`` instead.
+    """
+    require_positive(flit_bytes, "flit_bytes")
+    require(
+        convention in ("half_network_latency", "full_network_latency"),
+        f"unknown t_cn convention {convention!r}",
+    )
+    alpha = network.network_latency
+    if convention == "half_network_latency":
+        alpha = 0.5 * alpha
+    return alpha + network.beta * flit_bytes
+
+
+def switch_channel_time(network: NetworkCharacteristics, flit_bytes: float) -> float:
+    """Per-flit service time of a switch↔switch channel (paper Eq. 12).
+
+    ``t_cs = α_s + β_n d_m``.
+    """
+    require_positive(flit_bytes, "flit_bytes")
+    return network.switch_latency + network.beta * flit_bytes
+
+
+@dataclass(frozen=True)
+class ServiceTimes:
+    """Bundled ``(t_cn, t_cs)`` of one network for one flit size.
+
+    Provides the message-granularity values the queueing equations use
+    (``M * t``) via :meth:`message_node_time` / :meth:`message_switch_time`.
+    """
+
+    t_cn: float
+    t_cs: float
+
+    @classmethod
+    def for_network(
+        cls,
+        network: NetworkCharacteristics,
+        message: MessageSpec,
+        options: ModelOptions | None = None,
+    ) -> "ServiceTimes":
+        """Compute both channel times for *network* under *options*."""
+        convention = (options or ModelOptions()).tcn_convention
+        return cls(
+            t_cn=node_channel_time(network, message.flit_bytes, convention),
+            t_cs=switch_channel_time(network, message.flit_bytes),
+        )
+
+    def message_node_time(self, length_flits: int) -> float:
+        """Whole-message transfer time over a node↔switch channel, ``M t_cn``."""
+        return length_flits * self.t_cn
+
+    def message_switch_time(self, length_flits: int) -> float:
+        """Whole-message transfer time over a switch↔switch channel, ``M t_cs``."""
+        return length_flits * self.t_cs

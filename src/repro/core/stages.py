@@ -1,0 +1,111 @@
+"""Backward stage recursion shared by the intra- and inter-cluster models.
+
+The paper analyses a wormhole journey as a pipeline of *stages* — the
+switches between source and destination, numbered ``0`` (next to the
+source) through ``K-1`` (next to the destination).  The channel service
+time at stage ``k`` is the message transfer time **plus the waiting times
+of every later stage** (a blocked wormhole header idles its channel), and
+each stage's waiting time follows the paper's quadratic approximation:
+
+* Eq. 14 / Eq. 29:  ``T_k = M·t(k) + Σ_{s>k} W_s``   (``T_{K-1} = M·t_cn``)
+* Eq. 13 / Eq. 26:  ``W_k = ½ · η(k) · T_k²``
+
+The network latency of the whole journey is ``T_0``.  Channel rates ``η``
+and per-flit times ``t`` may vary per stage (the inter-cluster pipeline
+mixes three networks), so both are supplied as arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+
+__all__ = ["StagePipeline", "PipelineSolution", "solve_pipeline"]
+
+
+@dataclass(frozen=True)
+class StagePipeline:
+    """Per-stage description of one journey.
+
+    flit_times:
+        per-flit channel service time of each stage's outgoing channel
+        (``t_cs`` for interior hops, ``t_cn`` for the final hop).
+    channel_rates:
+        message arrival rate ``η`` seen by each stage's channel, already
+        scaled by the relaxing factor where applicable (Eq. 27).
+    """
+
+    flit_times: np.ndarray
+    channel_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        require(self.flit_times.ndim == 1, "flit_times must be 1-D")
+        require(
+            self.flit_times.shape == self.channel_rates.shape,
+            "flit_times and channel_rates must have identical shapes",
+        )
+        require(len(self.flit_times) >= 1, "a pipeline needs at least one stage")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.flit_times)
+
+
+@dataclass(frozen=True)
+class PipelineSolution:
+    """Result of the backward recursion for one journey."""
+
+    network_latency: float  # T_0 — the mean service time seen at stage 0
+    stage_service_times: np.ndarray  # T_k for every stage
+    stage_waits: np.ndarray  # W_k for every stage
+
+    @property
+    def total_wait(self) -> float:
+        """Σ_k W_k — the blocking component of the network latency."""
+        return float(self.stage_waits.sum())
+
+
+#: Values above this are treated as "effectively infinite".  The recursion
+#: ``W ∝ η T²`` grows doubly exponentially once channel utilisation passes
+#: its useful range, so without a clamp absurd loads overflow float64 long
+#: before any M/G/1 queue reports saturation.  Real latencies in any sane
+#: unit system are far below this threshold.
+_LATENCY_CAP = 1e60
+
+
+def solve_pipeline(pipeline: StagePipeline, length_flits: int) -> PipelineSolution:
+    """Run the Eq. 13/14 backward recursion for one journey.
+
+    Walks from the destination-side stage to the source-side stage keeping a
+    running suffix sum of waits; O(K) with no fixed-point iteration (the
+    recursion is strictly backward).  Values beyond :data:`_LATENCY_CAP`
+    saturate to ``inf`` instead of overflowing.
+    """
+    require(length_flits >= 1, "length_flits must be >= 1")
+    k_stages = pipeline.num_stages
+    t = pipeline.flit_times
+    eta = pipeline.channel_rates
+    service = np.empty(k_stages, dtype=np.float64)
+    waits = np.empty(k_stages, dtype=np.float64)
+    suffix_wait = 0.0
+    inf = float("inf")
+    for k in range(k_stages - 1, -1, -1):
+        t_k = length_flits * float(t[k]) + suffix_wait
+        if t_k > _LATENCY_CAP:
+            t_k = inf
+            w_k = inf
+        else:
+            w_k = 0.5 * float(eta[k]) * t_k * t_k
+            if w_k > _LATENCY_CAP:
+                w_k = inf
+        service[k] = t_k
+        waits[k] = w_k
+        suffix_wait += w_k
+    return PipelineSolution(
+        network_latency=float(service[0]),
+        stage_service_times=service,
+        stage_waits=waits,
+    )

@@ -1,0 +1,98 @@
+"""Load sweeps and saturation-point search for the analytical model.
+
+The paper's figures plot mean latency against the traffic generation rate
+``λ_g`` up to the saturation point.  This module provides:
+
+* :func:`find_saturation_load` — bisection on the model's saturation flag,
+* :func:`auto_load_grid` — a figure-ready grid covering (0, fraction·λ*],
+* :func:`sweep_load` — evaluate the model across a grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require, require_positive
+from repro.core.model import AnalyticalModel, ModelResult
+
+__all__ = ["LoadSweep", "sweep_load", "find_saturation_load", "auto_load_grid"]
+
+
+@dataclass(frozen=True)
+class LoadSweep:
+    """Model latency curve over a load grid."""
+
+    loads: np.ndarray
+    latencies: np.ndarray
+    results: tuple[ModelResult, ...]
+
+    def finite_mask(self) -> np.ndarray:
+        """Boolean mask of non-saturated points."""
+        return np.isfinite(self.latencies)
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """(λ_g, latency) rows for reporting."""
+        return [(float(lo), float(la)) for lo, la in zip(self.loads, self.latencies)]
+
+
+def sweep_load(model: AnalyticalModel, loads: "np.ndarray | list[float]") -> LoadSweep:
+    """Evaluate *model* at every load in *loads* (ascending not required)."""
+    loads_arr = np.asarray(loads, dtype=np.float64)
+    require(loads_arr.ndim == 1 and loads_arr.size > 0, "loads must be a non-empty 1-D sequence")
+    require(bool(np.all(loads_arr >= 0)), "loads must be non-negative")
+    results = tuple(model.evaluate(float(lam)) for lam in loads_arr)
+    latencies = np.array([r.latency for r in results], dtype=np.float64)
+    return LoadSweep(loads=loads_arr, latencies=latencies, results=results)
+
+
+def find_saturation_load(
+    model: AnalyticalModel,
+    *,
+    upper_hint: float = 1.0,
+    rel_tol: float = 1e-4,
+    max_iterations: int = 200,
+) -> float:
+    """Smallest ``λ_g`` at which the model saturates, via bisection.
+
+    Expands the bracket geometrically from *upper_hint* first (the model is
+    monotone in load: every queue utilisation is linear in ``λ_g``).
+    """
+    require_positive(upper_hint, "upper_hint")
+    require_positive(rel_tol, "rel_tol")
+    lo, hi = 0.0, upper_hint
+    expansions = 0
+    while not model.is_saturated(hi):
+        lo, hi = hi, hi * 4.0
+        expansions += 1
+        require(expansions < 60, "could not find a saturating load (system unsaturable?)")
+    for _ in range(max_iterations):
+        if hi - lo <= rel_tol * hi:
+            break
+        mid = 0.5 * (lo + hi)
+        if model.is_saturated(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def auto_load_grid(
+    model: AnalyticalModel,
+    *,
+    points: int = 12,
+    fraction_of_saturation: float = 0.95,
+    include_zero: bool = False,
+) -> np.ndarray:
+    """Evenly spaced load grid from light load to near saturation.
+
+    Mirrors the paper's figures, which sample λ_g from ~10 % of saturation
+    up to just before the blow-up.
+    """
+    require(points >= 2, "points must be >= 2")
+    require(0.0 < fraction_of_saturation < 1.0, "fraction_of_saturation must be in (0, 1)")
+    lam_star = find_saturation_load(model)
+    top = fraction_of_saturation * lam_star
+    start = 0.0 if include_zero else top / points
+    return np.linspace(start, top, points)

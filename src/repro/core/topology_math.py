@@ -1,0 +1,130 @@
+"""Closed-form combinatorics of the m-port n-tree topology.
+
+These are the quantities the analytical model needs about a tree without
+ever constructing it: node/switch counts, the journey-length distribution
+under uniform traffic (paper Eq. 6) and the mean message distance
+(paper Eqs. 8–9).
+
+Conventions: ``q = m/2`` is the down/up radix of non-root switches; an
+``h``-level journey crosses ``2h`` links (``h`` ascending to the nearest
+common ancestor, ``h`` descending — paper §2).  All pmfs are returned as
+NumPy arrays indexed by ``h-1`` (i.e. ``pmf[0]`` is ``P(h=1)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import require, require_int
+
+__all__ = [
+    "radix",
+    "num_nodes",
+    "num_switches",
+    "switches_per_level",
+    "num_unidirectional_channels",
+    "journey_length_pmf",
+    "mean_journey_links",
+    "mean_journey_links_closed_form",
+    "nca_level_counts",
+]
+
+
+def radix(switch_ports: int) -> int:
+    """Half-arity ``q = m/2`` (down-radix of every non-root switch)."""
+    require_int(switch_ports, "switch_ports", minimum=2)
+    require(switch_ports % 2 == 0, f"switch_ports must be even, got {switch_ports}")
+    return switch_ports // 2
+
+
+def num_nodes(switch_ports: int, tree_depth: int) -> int:
+    """Processing-node count ``N = 2 * (m/2)**n`` (paper §2)."""
+    require_int(tree_depth, "tree_depth", minimum=1)
+    return 2 * radix(switch_ports) ** tree_depth
+
+
+def num_switches(switch_ports: int, tree_depth: int) -> int:
+    """Switch count ``N_sw = (2n - 1) * (m/2)**(n-1)`` (paper §2)."""
+    require_int(tree_depth, "tree_depth", minimum=1)
+    return (2 * tree_depth - 1) * radix(switch_ports) ** (tree_depth - 1)
+
+
+def switches_per_level(switch_ports: int, tree_depth: int) -> tuple[int, ...]:
+    """Switch counts for levels ``1..n``.
+
+    Levels ``1..n-1`` have ``2 q**(n-1)`` switches; the root level has
+    ``q**(n-1)`` switches with all ``m`` ports facing down.  The total
+    matches :func:`num_switches`.
+    """
+    require_int(tree_depth, "tree_depth", minimum=1)
+    q = radix(switch_ports)
+    body = 2 * q ** (tree_depth - 1)
+    return tuple([body] * (tree_depth - 1) + [q ** (tree_depth - 1)])
+
+
+def num_unidirectional_channels(switch_ports: int, tree_depth: int) -> int:
+    """Channel count used by the paper's per-channel rates: ``4 n N``.
+
+    The physical topology has ``n*N`` full-duplex links (``N`` between any
+    two adjacent levels, including nodes↔level-1); the paper's Eq. 10
+    denominator ``4 n_i N_i`` counts each full-duplex link as four
+    unidirectional channel resources (separate ascending/descending channel
+    pairs).  We keep the paper's constant so Eq. 10 reproduces exactly.
+    """
+    return 4 * tree_depth * num_nodes(switch_ports, tree_depth)
+
+
+def nca_level_counts(switch_ports: int, tree_depth: int) -> np.ndarray:
+    """Number of destinations whose NCA with a fixed source is at level ``h``.
+
+    For ``h < n`` the destinations sharing a level-``h`` subtree but not a
+    level-``h-1`` subtree number ``q**h - q**(h-1)``; the root level attracts
+    the remaining ``N - q**(n-1)`` nodes.  Sums to ``N - 1``.
+    """
+    q = radix(switch_ports)
+    n = tree_depth
+    counts = np.array([q**h - q ** (h - 1) for h in range(1, n)] + [0], dtype=np.int64)
+    counts[n - 1] = num_nodes(switch_ports, n) - q ** (n - 1)
+    return counts
+
+
+def journey_length_pmf(switch_ports: int, tree_depth: int) -> np.ndarray:
+    """Paper Eq. 6 — pmf of the NCA level ``h`` under uniform traffic.
+
+    ``P(h) = q**(h-1) (q-1) / (N-1)`` for ``h = 1..n-1`` and
+    ``P(n) = q**(n-1) (m-1) / (N-1)``.  Index ``h-1`` holds ``P(h)``.
+    A journey with NCA level ``h`` crosses ``2h`` links.
+    """
+    require_int(tree_depth, "tree_depth", minimum=1)
+    n_nodes = num_nodes(switch_ports, tree_depth)
+    counts = nca_level_counts(switch_ports, tree_depth).astype(np.float64)
+    return counts / (n_nodes - 1)
+
+
+def mean_journey_links(switch_ports: int, tree_depth: int) -> float:
+    """Paper Eq. 8 — mean number of links crossed, ``D = 2 Σ_h h P(h)``."""
+    pmf = journey_length_pmf(switch_ports, tree_depth)
+    h = np.arange(1, tree_depth + 1, dtype=np.float64)
+    return float(2.0 * np.sum(h * pmf))
+
+
+def mean_journey_links_closed_form(switch_ports: int, tree_depth: int) -> float:
+    """Closed form of Eq. 9 (derived independently; tested against Eq. 8).
+
+    With ``q = m/2`` and ``N = 2 q**n``::
+
+        D = 2 * [ Σ_{h=1}^{n-1} h q^{h-1}(q-1)  +  n (2 q^n - q^{n-1}) ] / (N-1)
+
+    The finite sum telescopes to ``(n-1) q^{n-1}  - (q^{n-1} - 1)/(q - 1)``
+    for ``q > 1`` (and to ``n(n-1)/2 * 0`` degenerately for ``q = 1``,
+    which cannot occur since ``m >= 4``).
+    """
+    q = radix(switch_ports)
+    n = tree_depth
+    n_nodes = num_nodes(switch_ports, tree_depth)
+    if q == 1:  # pragma: no cover - excluded by validation (m >= 4)
+        raise ValueError("m-port n-tree requires m >= 4")
+    # sum_{h=1}^{n-1} h (q^h - q^{h-1}) = (n-1) q^{n-1} - (q^{n-2} + ... + 1)
+    partial = (n - 1) * q ** (n - 1) - (q ** (n - 1) - 1) // (q - 1)
+    total = partial + n * (2 * q**n - q ** (n - 1))
+    return 2.0 * total / (n_nodes - 1)

@@ -1,0 +1,21 @@
+"""Result persistence and paper-style reporting."""
+
+from repro.io.reporting import (
+    format_table1,
+    format_table2,
+    format_validation_curve,
+    format_whatif_study,
+)
+from repro.io.results import load_curve_csv, load_json, save_curve_csv, save_json, to_jsonable
+
+__all__ = [
+    "to_jsonable",
+    "save_json",
+    "load_json",
+    "save_curve_csv",
+    "load_curve_csv",
+    "format_validation_curve",
+    "format_whatif_study",
+    "format_table1",
+    "format_table2",
+]

@@ -1,0 +1,60 @@
+"""Figure/table reporting in the paper's vocabulary.
+
+Formats validation curves and what-if studies as the text series the
+benchmark harness prints (one block per paper figure).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.tables import render_series, render_table
+
+if TYPE_CHECKING:  # avoid a runtime cycle: validation.report uses this module
+    from repro.validation.compare import ValidationCurve
+
+__all__ = ["format_validation_curve", "format_whatif_study", "format_table1", "format_table2"]
+
+
+def format_validation_curve(curve: "ValidationCurve", *, figure: str = "") -> str:
+    """One paper-figure block: load, model, sim, relative error."""
+    rows = curve.as_rows()
+    title = f"{figure} {curve.label}".strip()
+    return render_series(
+        title,
+        "lambda_g",
+        [r[0] for r in rows],
+        {
+            "model": [r[1] for r in rows],
+            "simulation": [r[2] for r in rows],
+            "rel_err": [r[3] for r in rows],
+        },
+    )
+
+
+def format_whatif_study(study) -> str:
+    """Fig. 7-style block: one latency column per system variant."""
+    columns = {}
+    loads = None
+    for curve in study.curves:
+        loads = curve.loads if loads is None else loads
+        columns[curve.label] = list(curve.latencies)
+    return render_series(study.title, "lambda_g", list(loads), columns)
+
+
+def format_table1(rows: list[dict]) -> str:
+    """Paper Table 1 (system organisations)."""
+    return render_table(
+        ["N", "C", "m", "Node Organizations"],
+        [[r["N"], r["C"], r["m"], r["organization"]] for r in rows],
+        title="Table 1. System Organizations for Model Validation",
+    )
+
+
+def format_table2(networks) -> str:
+    """Paper Table 2 (network characteristics)."""
+    return render_table(
+        ["Network", "Bandwidth", "Network Latency", "Switch Latency"],
+        [[n.name, n.bandwidth, n.network_latency, n.switch_latency] for n in networks],
+        title="Table 2. Network Characteristics for Model Validation",
+    )

@@ -1,0 +1,90 @@
+"""Persistence of model/simulation/validation results (JSON and CSV).
+
+Everything serialises to plain dicts first (:func:`to_jsonable`), so saved
+artifacts are tool-agnostic; loaders return dictionaries rather than
+reconstructing live objects, keeping the on-disk format decoupled from the
+class layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro._util import require
+
+__all__ = ["to_jsonable", "save_json", "load_json", "save_curve_csv", "load_curve_csv"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/arrays/scalars to JSON-safe objects."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float) and not np.isfinite(value):
+        return {"__float__": "inf" if value > 0 else ("-inf" if value < 0 else "nan")}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None or isinstance(value, float):
+        return value
+    return str(value)
+
+
+def _restore_floats(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value.keys()) == {"__float__"}:
+            return {"inf": float("inf"), "-inf": float("-inf"), "nan": float("nan")}[value["__float__"]]
+        return {k: _restore_floats(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_restore_floats(v) for v in value]
+    return value
+
+
+def save_json(path: str | Path, payload: Any) -> Path:
+    """Serialise *payload* (any dataclass/dict tree) to pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON artifact saved by :func:`save_json` (restores inf/nan)."""
+    return _restore_floats(json.loads(Path(path).read_text()))
+
+
+def save_curve_csv(path: str | Path, columns: dict[str, list | np.ndarray]) -> Path:
+    """Write named columns of equal length as CSV."""
+    require(len(columns) > 0, "at least one column required")
+    lengths = {len(v) for v in columns.values()}
+    require(len(lengths) == 1, "all columns must have equal length")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(columns.keys())
+        for row in zip(*columns.values()):
+            writer.writerow([repr(float(v)) for v in row])
+    return path
+
+
+def load_curve_csv(path: str | Path) -> dict[str, list[float]]:
+    """Load a CSV written by :func:`save_curve_csv` as float columns."""
+    with Path(path).open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        columns: dict[str, list[float]] = {h: [] for h in header}
+        for row in reader:
+            for h, v in zip(header, row):
+                columns[h].append(float(v))
+    return columns

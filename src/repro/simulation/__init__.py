@@ -1,0 +1,36 @@
+"""Discrete-event wormhole simulators used to validate the analytical model."""
+
+from repro.simulation.fabric import GROUPS, ResolvedFabric, ResolvedSegment
+from repro.simulation.metrics import LatencyCollector, LatencyStats, MeasurementWindow
+from repro.simulation.replication import ReplicatedResult, replicate
+from repro.simulation.rng import SimulationStreams, make_streams
+from repro.simulation.runner import (
+    SimulationConfig,
+    SimulationResult,
+    SimulationSession,
+    simulate,
+)
+from repro.simulation.traffic import PoissonArrivals, SimTrafficPattern, UniformDestinations
+from repro.simulation.wormhole import MessageLevelWormholeSimulator, RawRunResult
+
+__all__ = [
+    "ResolvedFabric",
+    "ResolvedSegment",
+    "GROUPS",
+    "MeasurementWindow",
+    "LatencyCollector",
+    "LatencyStats",
+    "SimulationStreams",
+    "make_streams",
+    "ReplicatedResult",
+    "replicate",
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationSession",
+    "simulate",
+    "PoissonArrivals",
+    "UniformDestinations",
+    "SimTrafficPattern",
+    "MessageLevelWormholeSimulator",
+    "RawRunResult",
+]

@@ -1,0 +1,165 @@
+"""Resolved fabric: integer channel ids, flit times and cached paths.
+
+The simulators work on dense integer channel ids instead of structured
+:class:`~repro.cluster.channels.SystemChannel` objects.  A
+:class:`ResolvedFabric` binds a :class:`~repro.cluster.system.
+HeterogeneousSystem` to one :class:`~repro.core.parameters.MessageSpec`,
+assigning every directed channel its per-flit service time (``t_cn`` /
+``t_cs`` of the owning network — the same primitives the analytical model
+uses) and a reporting group:
+
+``icn1`` / ``ecn1`` / ``icn2``
+    ordinary channels of each network;
+``cd-concentrate``
+    the concentrator→ICN2 injection channel (the Eq. 37 concentrate buffer
+    server);
+``cd-dispatch``
+    the dispatcher→ECN1 injection channel (the dispatch buffer server).
+
+Paths are resolved into per-segment ``(channel ids, bottleneck flit time)``
+tuples, with the ECN1 ascent/descent legs and ICN2 crossings cached (they
+are shared by every message of a node / cluster pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+from repro.cluster.channels import Concentrator, SystemChannel
+from repro.cluster.pathing import inter_path, intra_path
+from repro.cluster.system import HeterogeneousSystem
+from repro.core.parameters import MessageSpec, ModelOptions, NetworkCharacteristics
+from repro.core.service_times import ServiceTimes
+from repro.topology.addressing import NodeAddress
+from repro.topology.mport_ntree import ChannelKind
+
+__all__ = ["ResolvedSegment", "ResolvedFabric", "GROUPS"]
+
+GROUPS: tuple[str, ...] = ("icn1", "ecn1", "icn2", "cd-concentrate", "cd-dispatch")
+
+
+@dataclass(frozen=True)
+class ResolvedSegment:
+    """One wormhole leg as the simulators consume it."""
+
+    channel_ids: tuple[int, ...]
+    bottleneck_flit_time: float
+
+
+class ResolvedFabric:
+    """Dense-id view of the fabric for one message specification."""
+
+    def __init__(
+        self,
+        system: HeterogeneousSystem,
+        message: MessageSpec,
+        options: ModelOptions | None = None,
+    ) -> None:
+        self.system = system
+        self.message = message
+        self.options = options or ModelOptions()
+
+        self._service_cache: dict[NetworkCharacteristics, ServiceTimes] = {}
+        channels = list(system.channels())
+        self.num_channels = len(channels)
+        self.channel_index: dict[SystemChannel, int] = {ch: i for i, ch in enumerate(channels)}
+        self.channels: tuple[SystemChannel, ...] = tuple(channels)
+
+        flit_time = np.empty(self.num_channels, dtype=np.float64)
+        group = np.empty(self.num_channels, dtype=np.int8)
+        ejection = np.zeros(self.num_channels, dtype=bool)
+        cd_reception = np.zeros(self.num_channels, dtype=bool)
+        for i, ch in enumerate(channels):
+            flit_time[i] = self._channel_flit_time(ch)
+            group[i] = GROUPS.index(self._channel_group(ch))
+            ejection[i] = ch.kind is ChannelKind.SWITCH_TO_NODE and isinstance(ch.target, NodeAddress)
+            cd_reception[i] = isinstance(ch.target, Concentrator)
+        self.flit_time = flit_time
+        self.group = group
+        self.ejection = ejection
+        #: Links delivering into a concentrator/dispatcher buffer.  The
+        #: paper models every segment sink as "always able to receive"
+        #: (Eq. 29's final stage has no blocking term), so under
+        #: ``cd_mode="paper"`` the simulators treat these as interleaving,
+        #: non-blocking ingress links.
+        self.cd_reception = cd_reception
+
+        self._ascend_cache: dict[int, ResolvedSegment] = {}
+        self._descend_cache: dict[int, ResolvedSegment] = {}
+        self._icn2_cache: dict[tuple[int, int], ResolvedSegment] = {}
+        self._intra_cache: dict[tuple[int, int], ResolvedSegment] = {}
+
+    # -- channel attributes ------------------------------------------------------
+
+    def _network_of(self, channel: SystemChannel) -> NetworkCharacteristics:
+        tag = channel.network
+        if tag[0] == "icn1":
+            return self.system.clusters[tag[1]].spec.icn1
+        if tag[0] == "ecn1":
+            return self.system.clusters[tag[1]].spec.ecn1
+        return self.system.config.icn2
+
+    def _service_times(self, network: NetworkCharacteristics) -> ServiceTimes:
+        st = self._service_cache.get(network)
+        if st is None:
+            st = ServiceTimes.for_network(network, self.message, self.options)
+            self._service_cache[network] = st
+        return st
+
+    def _channel_flit_time(self, channel: SystemChannel) -> float:
+        st = self._service_times(self._network_of(channel))
+        return st.t_cn if channel.kind.is_node_link else st.t_cs
+
+    def _channel_group(self, channel: SystemChannel) -> str:
+        if isinstance(channel.source, Concentrator):
+            return "cd-concentrate" if channel.network[0] == "icn2" else "cd-dispatch"
+        return channel.network[0]
+
+    # -- path resolution -----------------------------------------------------------
+
+    def _segment(self, channels: tuple[SystemChannel, ...]) -> ResolvedSegment:
+        ids = tuple(self.channel_index[ch] for ch in channels)
+        tau = max(float(self.flit_time[c]) for c in ids)
+        return ResolvedSegment(channel_ids=ids, bottleneck_flit_time=tau)
+
+    def resolve(self, source: int, destination: int) -> tuple[ResolvedSegment, ...]:
+        """Segments of the journey ``source → destination`` (flat node ids)."""
+        require(source != destination, "source and destination must differ")
+        src_cluster = self.system.cluster_of(source)
+        if src_cluster.contains_global(destination):
+            key = (source, destination)
+            seg = self._intra_cache.get(key)
+            if seg is None:
+                path = intra_path(self.system, source, destination)
+                seg = self._segment(path.segments[0].channels)
+                self._intra_cache[key] = seg
+            return (seg,)
+
+        dst_cluster = self.system.cluster_of(destination)
+        up = self._ascend_cache.get(source)
+        mid = self._icn2_cache.get((src_cluster.index, dst_cluster.index))
+        down = self._descend_cache.get(destination)
+        if up is None or mid is None or down is None:
+            path = inter_path(self.system, source, destination)
+            if up is None:
+                up = self._segment(path.segments[0].channels)
+                self._ascend_cache[source] = up
+            if mid is None:
+                mid = self._segment(path.segments[1].channels)
+                self._icn2_cache[(src_cluster.index, dst_cluster.index)] = mid
+            if down is None:
+                down = self._segment(path.segments[2].channels)
+                self._descend_cache[destination] = down
+        return (up, mid, down)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def channels_per_group(self) -> dict[str, int]:
+        """Directed channel counts by reporting group."""
+        counts = {name: 0 for name in GROUPS}
+        for g in self.group:
+            counts[GROUPS[int(g)]] += 1
+        return counts

@@ -1,0 +1,38 @@
+"""Deterministic random-number streams for the simulators.
+
+Every simulation run derives independent child streams (arrival process,
+destination selection) from one user seed via :class:`numpy.random.
+SeedSequence`, so results are reproducible and robust to internal
+event-ordering changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require_int
+
+__all__ = ["SimulationStreams", "make_streams"]
+
+
+@dataclass(frozen=True)
+class SimulationStreams:
+    """Independent generators for each stochastic aspect of a run."""
+
+    arrivals: np.random.Generator
+    destinations: np.random.Generator
+    seed: int
+
+
+def make_streams(seed: int) -> SimulationStreams:
+    """Spawn the per-purpose generators from a single integer seed."""
+    require_int(seed, "seed", minimum=0)
+    root = np.random.SeedSequence(seed)
+    arrival_seq, destination_seq = root.spawn(2)
+    return SimulationStreams(
+        arrivals=np.random.default_rng(arrival_seq),
+        destinations=np.random.default_rng(destination_seq),
+        seed=seed,
+    )

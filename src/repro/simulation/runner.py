@@ -1,0 +1,163 @@
+"""High-level simulation entry points.
+
+:func:`simulate` runs one configuration end to end; :class:`SimulationSession`
+caches the materialised fabric so load sweeps (the paper's figures) do not
+pay the construction cost per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import require, require_nonnegative
+from repro.cluster.system import HeterogeneousSystem
+from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
+from repro.simulation.fabric import ResolvedFabric
+from repro.simulation.metrics import LatencyStats, MeasurementWindow
+from repro.simulation.rng import make_streams
+from repro.simulation.traffic import SimTrafficPattern
+from repro.simulation.wormhole import MessageLevelWormholeSimulator, RawRunResult
+
+__all__ = ["SimulationConfig", "SimulationResult", "SimulationSession", "simulate"]
+
+GRANULARITIES = ("message", "flit")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete description of one simulation run."""
+
+    system: SystemConfig
+    message: MessageSpec
+    generation_rate: float
+    seed: int = 0
+    window: MeasurementWindow = field(default_factory=lambda: MeasurementWindow.scaled_paper(20_000))
+    granularity: str = "message"
+    ideal_sinks: bool = False
+    cd_mode: str = "paper"
+    options: ModelOptions = field(default_factory=ModelOptions)
+    pattern: SimTrafficPattern | None = None
+    max_events: int = 500_000_000
+
+    def __post_init__(self) -> None:
+        require(self.granularity in GRANULARITIES, f"granularity must be one of {GRANULARITIES}")
+        require_nonnegative(self.generation_rate, "generation_rate")
+        require(self.generation_rate > 0, "generation_rate must be positive for a simulation")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one run, with the figure-facing summary up front."""
+
+    generation_rate: float
+    mean_latency: float
+    stats: LatencyStats
+    per_cluster_means: dict[int, float]
+    network_utilization: dict[str, float]
+    source_wait_mean: float
+    concentrator_wait_mean: float
+    duration: float
+    events: int
+    generated: int
+    completed: bool
+    granularity: str
+    seed: int
+    wall_seconds: float
+
+
+class SimulationSession:
+    """Reusable system+fabric for running many loads of one scenario."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        message: MessageSpec,
+        *,
+        options: ModelOptions | None = None,
+    ) -> None:
+        self.system_config = system
+        self.message = message
+        self.options = options or ModelOptions()
+        self.system = HeterogeneousSystem(system)
+        self.fabric = ResolvedFabric(self.system, message, self.options)
+
+    def run(
+        self,
+        generation_rate: float,
+        *,
+        seed: int = 0,
+        window: MeasurementWindow | None = None,
+        granularity: str = "message",
+        ideal_sinks: bool = False,
+        cd_mode: str = "paper",
+        pattern: SimTrafficPattern | None = None,
+        max_events: int = 500_000_000,
+    ) -> SimulationResult:
+        """Run one load point on the cached fabric."""
+        require(granularity in GRANULARITIES, f"granularity must be one of {GRANULARITIES}")
+        window = window or MeasurementWindow.scaled_paper(20_000)
+        streams = make_streams(seed)
+        if granularity == "message":
+            engine = MessageLevelWormholeSimulator(
+                self.fabric,
+                window,
+                generation_rate,
+                streams,
+                pattern,
+                ideal_sinks=ideal_sinks,
+                cd_mode=cd_mode,
+            )
+        else:
+            from repro.simulation.flitsim import FlitLevelSimulator
+
+            engine = FlitLevelSimulator(
+                self.fabric,
+                window,
+                generation_rate,
+                streams,
+                pattern,
+                ideal_sinks=ideal_sinks,
+                cd_mode=cd_mode,
+            )
+        raw = engine.run(max_events=max_events)
+        return self._package(raw, generation_rate, granularity, seed)
+
+    def _package(
+        self, raw: RawRunResult, generation_rate: float, granularity: str, seed: int
+    ) -> SimulationResult:
+        counts = self.fabric.channels_per_group()
+        utilization = {}
+        for group, busy in raw.busy_time_by_group.items():
+            denom = counts.get(group, 0) * raw.duration
+            utilization[group] = busy / denom if denom > 0 else 0.0
+        return SimulationResult(
+            generation_rate=generation_rate,
+            mean_latency=raw.stats.mean,
+            stats=raw.stats,
+            per_cluster_means=raw.per_cluster_means,
+            network_utilization=utilization,
+            source_wait_mean=raw.source_wait_mean,
+            concentrator_wait_mean=raw.concentrator_wait_mean,
+            duration=raw.duration,
+            events=raw.events,
+            generated=raw.generated,
+            completed=raw.completed,
+            granularity=granularity,
+            seed=seed,
+            wall_seconds=raw.wall_seconds,
+        )
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Build the fabric and run one :class:`SimulationConfig` end to end."""
+    session = SimulationSession(config.system, config.message, options=config.options)
+    return session.run(
+        config.generation_rate,
+        seed=config.seed,
+        window=config.window,
+        granularity=config.granularity,
+        ideal_sinks=config.ideal_sinks,
+        cd_mode=config.cd_mode,
+        pattern=config.pattern,
+        max_events=config.max_events,
+    )

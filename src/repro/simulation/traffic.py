@@ -1,0 +1,71 @@
+"""Traffic generation for the simulators (paper assumptions 1–2).
+
+Each node generates messages as an independent Poisson process of rate
+``λ_g``; destinations default to uniform over all other nodes.  Non-uniform
+patterns (the paper's future-work item) plug in through the
+:class:`SimTrafficPattern` protocol implemented in
+:mod:`repro.workloads.patterns`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro._util import require, require_positive
+from repro.cluster.system import HeterogeneousSystem
+
+__all__ = ["SimTrafficPattern", "UniformDestinations", "PoissonArrivals"]
+
+
+@runtime_checkable
+class SimTrafficPattern(Protocol):
+    """Destination sampler used by the simulators."""
+
+    def sample_destination(
+        self,
+        rng: np.random.Generator,
+        system: HeterogeneousSystem,
+        source: int,
+    ) -> int:
+        """Return a destination node id ``!= source``."""
+        ...
+
+
+class UniformDestinations:
+    """Paper assumption 2: destination uniform over all other nodes."""
+
+    def sample_destination(
+        self,
+        rng: np.random.Generator,
+        system: HeterogeneousSystem,
+        source: int,
+    ) -> int:
+        n = system.total_nodes
+        require(n >= 2, "uniform traffic needs at least two nodes")
+        draw = int(rng.integers(0, n - 1))
+        return draw + 1 if draw >= source else draw
+
+
+class PoissonArrivals:
+    """Per-node exponential inter-arrival sampling at rate ``λ_g``.
+
+    The generator draws one inter-arrival at a time so the event heap holds
+    exactly one pending arrival per node (exact superposition of N Poisson
+    processes).
+    """
+
+    def __init__(self, generation_rate: float, rng: np.random.Generator) -> None:
+        require_positive(generation_rate, "generation_rate")
+        self.generation_rate = generation_rate
+        self._rng = rng
+        self._scale = 1.0 / generation_rate
+
+    def first_arrival(self) -> float:
+        """Time of a node's first arrival after t=0."""
+        return float(self._rng.exponential(self._scale))
+
+    def next_arrival(self, now: float) -> float:
+        """Time of the node's next arrival after *now*."""
+        return now + float(self._rng.exponential(self._scale))

@@ -1,0 +1,311 @@
+"""Message-level discrete-event wormhole simulator.
+
+Events are channel acquisitions and releases rather than flit hops — the
+defining wormhole property is preserved exactly (a message holds every
+channel of a segment from its header's acquisition until tail drain, so a
+blocked header idles its whole trail and contention couples across the
+fabric), while the in-message flit pipeline is computed analytically at
+delivery time (DESIGN.md §4):
+
+* header crossing channel ``k`` takes that channel's flit time;
+* once the header reaches the segment sink at ``t``, the remaining
+  ``M - 1`` flits stream at the bottleneck rate: delivery at
+  ``t + (M-1)·τ*`` with ``τ* = max flit time on the segment``;
+* channel ``k`` releases at ``max(grant_k + M·τ_k, t_del − (L−1−k)·τ*)``
+  (lock-step forward drain).
+
+The flit-accurate :mod:`repro.simulation.flitsim` certifies this
+approximation in the drain-model ablation bench.
+
+Inter-cluster journeys consist of three such segments glued by
+store-and-forward concentrator/dispatcher buffers: the next segment's
+first channel is requested only after full delivery into the buffer, and
+that injection channel's FIFO is exactly the Eq. 37 queue.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro._util import require
+from repro.simulation.fabric import GROUPS, ResolvedFabric
+from repro.simulation.metrics import LatencyCollector, LatencyStats, MeasurementWindow
+from repro.simulation.rng import SimulationStreams
+from repro.simulation.traffic import PoissonArrivals, SimTrafficPattern, UniformDestinations
+
+__all__ = ["RawRunResult", "MessageLevelWormholeSimulator"]
+
+_GEN, _HDR, _REL, _DEL = 0, 1, 2, 3
+
+
+class _Message:
+    """In-flight message state (mutable, slot-optimised)."""
+
+    __slots__ = ("seq", "source", "destination", "path", "seg", "k", "grants", "gen_time", "request_time", "measured")
+
+    def __init__(self, seq, source, destination, path, gen_time, measured):
+        self.seq = seq
+        self.source = source
+        self.destination = destination
+        self.path = path
+        self.seg = 0
+        self.k = 0
+        self.grants: list[float] = []
+        self.gen_time = gen_time
+        self.request_time = gen_time
+        self.measured = measured
+
+
+@dataclass(frozen=True)
+class RawRunResult:
+    """Raw outcome of one simulator run (either granularity)."""
+
+    stats: LatencyStats
+    per_cluster_means: dict[int, float]
+    duration: float  # simulated time at termination
+    events: int
+    completed: bool  # all measured messages delivered within the event budget
+    generated: int
+    source_wait_mean: float
+    concentrator_wait_mean: float
+    busy_time_by_group: dict[str, float]
+    wall_seconds: float
+    extra: dict = field(default_factory=dict)
+
+
+class MessageLevelWormholeSimulator:
+    """Channel-acquisition-granularity wormhole simulator.
+
+    Parameters
+    ----------
+    fabric:
+        the resolved fabric (system × message spec).
+    window:
+        measurement protocol (warmup / measured / drain counts).
+    generation_rate:
+        per-node Poisson rate ``λ_g``.
+    streams:
+        deterministic RNG streams.
+    pattern:
+        destination sampler (defaults to uniform — paper assumption 2).
+    ideal_sinks:
+        if True, final ejection channels are uncontended (the model's
+        "destination always able to receive" assumption); default False
+        keeps them physical.
+    cd_mode:
+        concentrator/dispatcher semantics.  ``"paper"`` (default) is
+        cut-through with per-segment independent drains — the simulator
+        counterpart of the model's "merge unit" approximation (Eq. 20) and
+        the Eq. 37 concentrate service ``M t_cs^{I2}``; it reproduces both
+        the paper's light-load latencies and its saturation points.
+        ``"store_and_forward"`` buffers the whole message at each
+        concentrator before re-injection — physically conservative (full
+        flit causality across segments) but it triple-serialises the
+        message; kept for the ablation bench.
+    """
+
+    def __init__(
+        self,
+        fabric: ResolvedFabric,
+        window: MeasurementWindow,
+        generation_rate: float,
+        streams: SimulationStreams,
+        pattern: SimTrafficPattern | None = None,
+        *,
+        ideal_sinks: bool = False,
+        cd_mode: str = "paper",
+    ) -> None:
+        require(cd_mode in ("paper", "store_and_forward"), f"unknown cd_mode {cd_mode!r}")
+        self.cd_mode = cd_mode
+        require(fabric.system.total_nodes >= 2, "simulation needs at least two nodes")
+        self.fabric = fabric
+        self.window = window
+        self.pattern = pattern or UniformDestinations()
+        self.streams = streams
+        self.arrivals = PoissonArrivals(generation_rate, streams.arrivals)
+        self.ideal_sinks = ideal_sinks
+        self.m_flits = fabric.message.length_flits
+
+        n_ch = fabric.num_channels
+        self._flit_time = fabric.flit_time.tolist()
+        uncontended = fabric.ejection.copy() if ideal_sinks else [False] * n_ch
+        if cd_mode == "paper":
+            # Concentrator ingress buffers accept interleaved flits (the
+            # model's "always able to receive" sink assumption, Eq. 29).
+            uncontended = [u or cd for u, cd in zip(uncontended, fabric.cd_reception)]
+        self._uncontended = uncontended
+        self._holder = [-1] * n_ch
+        self._waiters: list[deque] = [deque() for _ in range(n_ch)]
+        self._last_grant = [0.0] * n_ch
+        self._busy = [0.0] * len(GROUPS)
+        self._group = fabric.group.tolist()
+
+        self.collector = LatencyCollector(window)
+        self._heap: list = []
+        self._eseq = 0
+        self._messages: dict[int, _Message] = {}
+        self._generated = 0
+        self._next_msg_id = 0
+        self._events = 0
+        self._now = 0.0
+        self._source_wait_sum = 0.0
+        self._source_wait_n = 0
+        self._cd_wait_sum = 0.0
+        self._cd_wait_n = 0
+
+    # -- event plumbing -----------------------------------------------------------
+
+    def _push(self, t: float, kind: int, payload: int) -> None:
+        self._eseq += 1
+        heappush(self._heap, (t, self._eseq, kind, payload))
+
+    # -- run loop -------------------------------------------------------------------
+
+    def run(self, *, max_events: int = 500_000_000) -> RawRunResult:
+        """Run until every measured message is delivered (or event budget)."""
+        wall_start = _time.perf_counter()
+        for node in self.fabric.system.global_ids():
+            self._push(self.arrivals.first_arrival(), _GEN, node)
+
+        heap = self._heap
+        completed = False
+        while heap:
+            t, _, kind, payload = heappop(heap)
+            self._now = t
+            self._events += 1
+            if kind == _HDR:
+                self._on_header(t, payload)
+            elif kind == _REL:
+                self._on_release(t, payload)
+            elif kind == _DEL:
+                self._on_delivery(t, payload)
+                if self.collector.all_measured_delivered:
+                    completed = True
+                    break
+            else:
+                self._on_generate(t, payload)
+            if self._events >= max_events:
+                break
+        wall = _time.perf_counter() - wall_start
+        stats = self.collector.stats()
+        busy = {name: self._busy[i] for i, name in enumerate(GROUPS)}
+        return RawRunResult(
+            stats=stats,
+            per_cluster_means=self.collector.per_cluster_means(),
+            duration=self._now,
+            events=self._events,
+            completed=completed,
+            generated=self._generated,
+            source_wait_mean=self._source_wait_sum / self._source_wait_n if self._source_wait_n else float("nan"),
+            concentrator_wait_mean=self._cd_wait_sum / self._cd_wait_n if self._cd_wait_n else float("nan"),
+            busy_time_by_group=busy,
+            wall_seconds=wall,
+        )
+
+    # -- handlers ----------------------------------------------------------------------
+
+    def _on_generate(self, t: float, node: int) -> None:
+        if self._generated >= self.window.total:
+            return  # budget exhausted: no new traffic, no rescheduling
+        seq = self._generated
+        self._generated += 1
+        destination = self.pattern.sample_destination(self.streams.destinations, self.fabric.system, node)
+        path = self.fabric.resolve(node, destination)
+        msg = _Message(seq, node, destination, path, t, self.window.is_measured(seq))
+        mid = self._next_msg_id
+        self._next_msg_id += 1
+        self._messages[mid] = msg
+        self._request(path[0].channel_ids[0], mid, t)
+        self._push(self.arrivals.next_arrival(t), _GEN, node)
+
+    def _request(self, cid: int, mid: int, t: float) -> None:
+        if self._uncontended[cid]:
+            self._grant(cid, mid, t, contended=False)
+        elif self._holder[cid] < 0 and not self._waiters[cid]:
+            self._grant(cid, mid, t, contended=True)
+        else:
+            self._waiters[cid].append(mid)
+
+    def _grant(self, cid: int, mid: int, t: float, *, contended: bool) -> None:
+        msg = self._messages[mid]
+        if not msg.grants:  # first channel of a segment: queue-wait statistics
+            if msg.measured:
+                wait = t - msg.request_time
+                if msg.seg == 0:
+                    self._source_wait_sum += wait
+                    self._source_wait_n += 1
+                else:
+                    self._cd_wait_sum += wait
+                    self._cd_wait_n += 1
+        msg.grants.append(t)
+        if contended:
+            self._holder[cid] = mid
+            self._last_grant[cid] = t
+        self._push(t + self._flit_time[cid], _HDR, mid)
+
+    def _on_header(self, t: float, mid: int) -> None:
+        msg = self._messages[mid]
+        segment = msg.path[msg.seg]
+        cids = segment.channel_ids
+        k = msg.k
+        if k + 1 < len(cids):
+            msg.k = k + 1
+            self._request(cids[k + 1], mid, t)
+            return
+        # Header reached the segment sink: schedule drain and releases.
+        m_flits = self.m_flits
+        tau_max = segment.bottleneck_flit_time
+        t_del = t + (m_flits - 1) * tau_max
+        grants = msg.grants
+        last = len(cids) - 1
+        flit_time = self._flit_time
+        for kk, cid in enumerate(cids):
+            if self._uncontended[cid]:
+                continue
+            release = grants[kk] + m_flits * flit_time[cid]
+            drain = t_del - (last - kk) * tau_max
+            self._push(release if release > drain else drain, _REL, cid)
+        if msg.seg + 1 < len(msg.path) and self.cd_mode == "paper":
+            # Cut-through: the header enters the concentrator/dispatcher and
+            # immediately requests the next segment's injection channel; the
+            # segment just finished drains independently behind it.
+            msg.seg += 1
+            msg.k = 0
+            msg.grants = []
+            msg.request_time = t
+            self._request(msg.path[msg.seg].channel_ids[0], mid, t)
+        else:
+            self._push(t_del, _DEL, mid)
+
+    def _on_release(self, t: float, cid: int) -> None:
+        group = self._group[cid]
+        self._busy[group] += t - self._last_grant[cid]
+        waiters = self._waiters[cid]
+        if waiters:
+            nxt = waiters.popleft()
+            self._holder[cid] = -1
+            self._grant(cid, nxt, t, contended=True)
+        else:
+            self._holder[cid] = -1
+
+    def _on_delivery(self, t: float, mid: int) -> None:
+        msg = self._messages[mid]
+        if msg.seg + 1 < len(msg.path):
+            # Store-and-forward at the concentrator/dispatcher buffer.
+            msg.seg += 1
+            msg.k = 0
+            msg.grants = []
+            msg.request_time = t
+            self._request(msg.path[msg.seg].channel_ids[0], mid, t)
+            return
+        source_cluster = self.fabric.system.cluster_of(msg.source).index
+        self.collector.record(
+            msg.seq,
+            t - msg.gen_time,
+            inter_cluster=len(msg.path) > 1,
+            source_cluster=source_cluster,
+        )
+        del self._messages[mid]

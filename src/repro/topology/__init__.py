@@ -1,0 +1,36 @@
+"""m-port n-tree fat-tree substrate: construction, addressing, routing."""
+
+from repro.topology.addressing import (
+    NodeAddress,
+    SwitchAddress,
+    node_address_from_index,
+    node_index_from_address,
+)
+from repro.topology.mport_ntree import ChannelKind, Endpoint, Link, MPortNTree
+from repro.topology.properties import (
+    empirical_mean_links,
+    empirical_nca_distribution,
+    structural_summary,
+    verify_route,
+)
+from repro.topology.routing import Route, ascend_to_root, descend_from_root, nca_level, route
+
+__all__ = [
+    "NodeAddress",
+    "SwitchAddress",
+    "node_address_from_index",
+    "node_index_from_address",
+    "MPortNTree",
+    "ChannelKind",
+    "Endpoint",
+    "Link",
+    "Route",
+    "route",
+    "nca_level",
+    "ascend_to_root",
+    "descend_from_root",
+    "empirical_nca_distribution",
+    "empirical_mean_links",
+    "structural_summary",
+    "verify_route",
+]

@@ -1,0 +1,118 @@
+"""Addressing scheme for m-port n-tree nodes and switches.
+
+We use a mixed-radix scheme equivalent to Lin's construction (paper §2):
+with ``q = m/2``,
+
+* a **node** is a digit tuple ``(a_n, a_{n-1}, …, a_1)`` where the top digit
+  ``a_n ∈ [0, 2q)`` and every other digit is in ``[0, q)`` — exactly
+  ``N = 2 q^n`` nodes;
+* a **switch at level l** (levels ``1..n``, ``n`` being the root level) is a
+  pair of tuples ``(prefix, column)`` with ``prefix = (a_n, …, a_{l+1})``
+  identifying the subtree it serves and ``column = (c_{l-1}, …, c_1)``
+  distinguishing the ``q^{l-1}`` replicated switches of that subtree.
+  Root switches have an empty prefix and use all ``m`` ports downward.
+
+Adjacency (derived in DESIGN.md §4 notes):
+
+* node ``(a_n,…,a_1)`` attaches to level-1 switch ``prefix=(a_n,…,a_2)``
+  at down-port ``a_1``;
+* ascending from level ``l`` drops the last prefix digit ``a_{l+1}``
+  (which becomes the upper switch's down-port) and prepends the chosen
+  up-port ``u`` to the column.
+
+This reproduces the paper's counts: ``2 q^{n-1}`` switches per non-root
+level, ``q^{n-1}`` roots, ``N_sw = (2n-1) q^{n-1}`` total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require, require_int
+
+__all__ = ["NodeAddress", "SwitchAddress", "node_address_from_index", "node_index_from_address"]
+
+
+@dataclass(frozen=True, order=True)
+class NodeAddress:
+    """A processing node, identified by its digit tuple ``(a_n, …, a_1)``."""
+
+    digits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.digits) >= 1, "a node address needs at least one digit")
+
+    @property
+    def depth(self) -> int:
+        """Tree depth ``n`` this address belongs to."""
+        return len(self.digits)
+
+    @property
+    def top_digit(self) -> int:
+        """``a_n`` — selects one of the ``2q`` top-level groups."""
+        return self.digits[0]
+
+    @property
+    def leaf_port(self) -> int:
+        """``a_1`` — the down-port on the node's level-1 switch."""
+        return self.digits[-1]
+
+    def prefix(self, level: int) -> tuple[int, ...]:
+        """Subtree prefix ``(a_n, …, a_{level+1})`` at the given level."""
+        require(1 <= level <= self.depth, f"level must be in [1, {self.depth}]")
+        return self.digits[: self.depth - level]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "n" + "".join(str(d) for d in self.digits)
+
+
+@dataclass(frozen=True, order=True)
+class SwitchAddress:
+    """A switch, identified by ``(level, prefix, column)``."""
+
+    level: int
+    prefix: tuple[int, ...]
+    column: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require_int(self.level, "level", minimum=1)
+        require(len(self.column) == self.level - 1, f"a level-{self.level} switch needs a column of {self.level - 1} digits")
+
+    @property
+    def is_root(self) -> bool:
+        """True for root-level switches (empty prefix)."""
+        return len(self.prefix) == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        p = "".join(str(d) for d in self.prefix) or "-"
+        c = "".join(str(d) for d in self.column) or "-"
+        return f"s{self.level}[{p}|{c}]"
+
+
+def node_address_from_index(index: int, *, radix: int, depth: int) -> NodeAddress:
+    """Decode a node index in ``[0, 2 q^n)`` to its digit tuple.
+
+    The top digit takes the ``2q`` high-order values; lower digits are
+    base-``q``.  Inverse of :func:`node_index_from_address`.
+    """
+    require_int(index, "index", minimum=0)
+    total = 2 * radix**depth
+    require(index < total, f"index {index} out of range for N={total}")
+    digits = []
+    rest = index
+    for _ in range(depth - 1):
+        digits.append(rest % radix)
+        rest //= radix
+    digits.append(rest)  # a_n in [0, 2q)
+    return NodeAddress(tuple(reversed(digits)))
+
+
+def node_index_from_address(address: NodeAddress, *, radix: int) -> int:
+    """Encode a digit tuple back into its node index (mixed radix)."""
+    for position, digit in enumerate(address.digits):
+        limit = 2 * radix if position == 0 else radix
+        require(0 <= digit < limit, f"digit {digit} at position {position} out of range [0, {limit})")
+    value = address.digits[0]
+    for digit in address.digits[1:]:
+        value = value * radix + digit
+    return value

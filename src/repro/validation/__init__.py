@@ -1,0 +1,36 @@
+"""The paper's validation studies: scenarios and model-vs-sim comparison."""
+
+from repro.validation.report import ReproductionReport, reproduction_report
+from repro.validation.compare import (
+    ValidationCurve,
+    ValidationPoint,
+    light_load_error,
+    run_validation,
+)
+from repro.validation.scenarios import (
+    FigureScenario,
+    all_latency_figures,
+    default_load_grid,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7_systems,
+)
+
+__all__ = [
+    "ReproductionReport",
+    "reproduction_report",
+    "ValidationCurve",
+    "ValidationPoint",
+    "run_validation",
+    "light_load_error",
+    "FigureScenario",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7_systems",
+    "all_latency_figures",
+    "default_load_grid",
+]

@@ -1,0 +1,129 @@
+"""Model-vs-simulation comparison harness (paper §4).
+
+Runs the analytical model and the discrete-event simulator across a load
+grid and reports per-point relative errors — the paper's central validation
+methodology ("at light traffic the model differs from simulation by about
+4 to 8 percent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+from repro.core.model import AnalyticalModel
+from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
+from repro.core.sweep import find_saturation_load
+from repro.simulation.metrics import MeasurementWindow
+from repro.simulation.runner import SimulationResult, SimulationSession
+
+__all__ = ["ValidationPoint", "ValidationCurve", "run_validation", "light_load_error"]
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One load point of a validation curve."""
+
+    load: float
+    model_latency: float
+    sim_latency: float
+    sim_std: float
+    sim_completed: bool
+
+    @property
+    def relative_error(self) -> float:
+        """(model − sim) / sim; negative when the model is optimistic."""
+        if not np.isfinite(self.model_latency) or self.sim_latency == 0:
+            return float("nan")
+        return (self.model_latency - self.sim_latency) / self.sim_latency
+
+
+@dataclass(frozen=True)
+class ValidationCurve:
+    """Model and simulation latencies across one load grid."""
+
+    label: str
+    points: tuple[ValidationPoint, ...]
+    sim_results: tuple[SimulationResult, ...]
+
+    def max_abs_error(self, *, load_fraction_below: float = 1.0) -> float:
+        """Largest |relative error| over points with load ≤ fraction·max."""
+        max_load = max(p.load for p in self.points)
+        errors = [
+            abs(p.relative_error)
+            for p in self.points
+            if p.load <= load_fraction_below * max_load and np.isfinite(p.relative_error)
+        ]
+        return max(errors) if errors else float("nan")
+
+    def as_rows(self) -> list[tuple[float, float, float, float]]:
+        """(load, model, sim, rel_error) rows for reporting."""
+        return [(p.load, p.model_latency, p.sim_latency, p.relative_error) for p in self.points]
+
+
+def run_validation(
+    system: SystemConfig,
+    message: MessageSpec,
+    loads,
+    *,
+    label: str = "",
+    seed: int = 0,
+    window: MeasurementWindow | None = None,
+    granularity: str = "message",
+    options: ModelOptions | None = None,
+    session: SimulationSession | None = None,
+) -> ValidationCurve:
+    """Evaluate model and simulator at every load in *loads*."""
+    loads = np.asarray(loads, dtype=np.float64)
+    require(loads.ndim == 1 and loads.size > 0, "loads must be a non-empty 1-D sequence")
+    model = AnalyticalModel(system, message, options)
+    session = session or SimulationSession(system, message, options=options)
+    window = window or MeasurementWindow.scaled_paper(20_000)
+    points = []
+    sim_results = []
+    for idx, lam in enumerate(loads):
+        sim = session.run(float(lam), seed=seed + idx, window=window, granularity=granularity)
+        model_result = model.evaluate(float(lam))
+        points.append(
+            ValidationPoint(
+                load=float(lam),
+                model_latency=model_result.latency,
+                sim_latency=sim.mean_latency,
+                sim_std=sim.stats.std,
+                sim_completed=sim.completed,
+            )
+        )
+        sim_results.append(sim)
+    return ValidationCurve(label=label or f"{system.name}", points=tuple(points), sim_results=tuple(sim_results))
+
+
+def light_load_error(
+    system: SystemConfig,
+    message: MessageSpec,
+    *,
+    load_fraction: float = 0.2,
+    seed: int = 0,
+    window: MeasurementWindow | None = None,
+    options: ModelOptions | None = None,
+    session: SimulationSession | None = None,
+) -> ValidationPoint:
+    """Model-vs-sim error at a light load (*fraction* of saturation).
+
+    The paper's headline accuracy claim is stated in this regime.
+    """
+    require(0.0 < load_fraction < 1.0, "load_fraction must be in (0, 1)")
+    model = AnalyticalModel(system, message, options)
+    lam = load_fraction * find_saturation_load(model)
+    curve = run_validation(
+        system,
+        message,
+        [lam],
+        label="light-load",
+        seed=seed,
+        window=window,
+        options=options,
+        session=session,
+    )
+    return curve.points[0]

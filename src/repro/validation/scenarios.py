@@ -1,0 +1,113 @@
+"""Scenario definitions for the paper's validation figures (Figs. 3–7).
+
+Each scenario bundles the system organisation (Table 1), the network
+characteristics (Table 2), a message geometry and a load grid shaped like
+the figure's x-axis.  The benches and EXPERIMENTS.md are generated from
+these definitions, so the mapping figure → code lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+from repro.core.model import AnalyticalModel
+from repro.core.parameters import MessageSpec, SystemConfig, paper_system_544, paper_system_1120
+from repro.core.sweep import find_saturation_load
+
+__all__ = [
+    "FigureScenario",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7_systems",
+    "all_latency_figures",
+    "default_load_grid",
+]
+
+
+@dataclass(frozen=True)
+class FigureScenario:
+    """One latency-vs-load validation figure."""
+
+    figure: str  # e.g. "Fig.3"
+    title: str
+    system: SystemConfig
+    messages: tuple[MessageSpec, ...]  # one curve pair (model+sim) per spec
+    paper_x_max: float  # the figure's x-axis upper bound in the paper
+
+    def load_grid(self, message: MessageSpec, *, points: int = 10, fraction: float = 0.92) -> np.ndarray:
+        """Loads from light traffic up to just below model saturation."""
+        return default_load_grid(self.system, message, points=points, fraction=fraction)
+
+
+def default_load_grid(
+    system: SystemConfig,
+    message: MessageSpec,
+    *,
+    points: int = 10,
+    fraction: float = 0.92,
+) -> np.ndarray:
+    """Evenly spaced grid in ``(0, fraction·λ*]`` like the paper's figures."""
+    require(points >= 2, "points must be >= 2")
+    model = AnalyticalModel(system, message)
+    lam_star = find_saturation_load(model)
+    top = fraction * lam_star
+    return np.linspace(top / points, top, points)
+
+
+def figure3() -> FigureScenario:
+    """Fig. 3: N=1120, m=8, M=32 flits, d_m ∈ {256, 512} bytes."""
+    return FigureScenario(
+        figure="Fig.3",
+        title="Mean message latency, N=1120, M=32",
+        system=paper_system_1120(),
+        messages=(MessageSpec(32, 256.0), MessageSpec(32, 512.0)),
+        paper_x_max=5e-4,
+    )
+
+
+def figure4() -> FigureScenario:
+    """Fig. 4: N=1120, m=8, M=64 flits, d_m ∈ {256, 512} bytes."""
+    return FigureScenario(
+        figure="Fig.4",
+        title="Mean message latency, N=1120, M=64",
+        system=paper_system_1120(),
+        messages=(MessageSpec(64, 256.0), MessageSpec(64, 512.0)),
+        paper_x_max=2.5e-4,
+    )
+
+
+def figure5() -> FigureScenario:
+    """Fig. 5: N=544, m=4, M=32 flits, d_m ∈ {256, 512} bytes."""
+    return FigureScenario(
+        figure="Fig.5",
+        title="Mean message latency, N=544, M=32",
+        system=paper_system_544(),
+        messages=(MessageSpec(32, 256.0), MessageSpec(32, 512.0)),
+        paper_x_max=1e-3,
+    )
+
+
+def figure6() -> FigureScenario:
+    """Fig. 6: N=544, m=4, M=64 flits, d_m ∈ {256, 512} bytes."""
+    return FigureScenario(
+        figure="Fig.6",
+        title="Mean message latency, N=544, M=64",
+        system=paper_system_544(),
+        messages=(MessageSpec(64, 256.0), MessageSpec(64, 512.0)),
+        paper_x_max=5e-4,
+    )
+
+
+def all_latency_figures() -> tuple[FigureScenario, ...]:
+    """Figs. 3–6 in paper order."""
+    return (figure3(), figure4(), figure5(), figure6())
+
+
+def figure7_systems() -> tuple[SystemConfig, SystemConfig]:
+    """Fig. 7 operates on both Table 1 systems with M=128, d_m=256."""
+    return (paper_system_544(), paper_system_1120())

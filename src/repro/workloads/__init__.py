@@ -1,0 +1,5 @@
+"""Traffic workloads: the paper's uniform baseline and future-work patterns."""
+
+from repro.workloads.patterns import HotspotTraffic, LocalityTraffic, UniformTraffic
+
+__all__ = ["UniformTraffic", "LocalityTraffic", "HotspotTraffic"]

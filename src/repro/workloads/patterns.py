@@ -1,0 +1,138 @@
+"""Traffic patterns: the paper's uniform baseline and non-uniform extensions.
+
+The paper assumes uniform destinations (assumption 2) and names non-uniform
+traffic as future work (§5).  Every pattern here implements **both** the
+model-facing protocol (:class:`repro.core.model.TrafficPatternLike` —
+per-cluster outgoing probability and destination-cluster weights) and the
+simulator-facing protocol (:class:`repro.simulation.traffic.
+SimTrafficPattern` — destination sampling), so the same object drives a
+model evaluation and its validating simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import require
+from repro.cluster.system import HeterogeneousSystem
+from repro.core.parameters import SystemConfig
+
+__all__ = ["UniformTraffic", "LocalityTraffic", "HotspotTraffic"]
+
+
+class UniformTraffic:
+    """Paper assumption 2: destinations uniform over all other nodes.
+
+    Equivalent to passing ``pattern=None`` to the model; provided explicitly
+    so the pattern plumbing itself can be validated against the closed form.
+    """
+
+    def outgoing_probability(self, system: SystemConfig, cluster_index: int) -> float:
+        """Eq. 2 recovered from first principles."""
+        return system.outgoing_probability(cluster_index)
+
+    def destination_cluster_weights(self, system: SystemConfig, cluster_index: int) -> list[float]:
+        """P(destination cluster = j | inter) ∝ N_j for j ≠ i."""
+        sizes = system.cluster_sizes
+        return [0.0 if j == cluster_index else float(sizes[j]) for j in range(system.num_clusters)]
+
+    def sample_destination(self, rng: np.random.Generator, system: HeterogeneousSystem, source: int) -> int:
+        draw = int(rng.integers(0, system.total_nodes - 1))
+        return draw + 1 if draw >= source else draw
+
+
+class LocalityTraffic:
+    """Tunable locality: a message stays in its cluster with probability *p*.
+
+    ``locality=0`` sends everything outward; under ``locality`` equal to the
+    uniform value ``1 - U_i`` this degenerates to (a cluster-wise
+    approximation of) the paper's baseline.  Destinations are uniform within
+    the chosen scope.
+    """
+
+    def __init__(self, locality: float) -> None:
+        require(0.0 <= locality <= 1.0, f"locality must be in [0, 1], got {locality}")
+        self.locality = locality
+
+    def outgoing_probability(self, system: SystemConfig, cluster_index: int) -> float:
+        if system.cluster_sizes[cluster_index] <= 1:
+            return 1.0 if system.num_clusters > 1 else 0.0
+        return 1.0 - self.locality
+
+    def destination_cluster_weights(self, system: SystemConfig, cluster_index: int) -> list[float]:
+        sizes = system.cluster_sizes
+        return [0.0 if j == cluster_index else float(sizes[j]) for j in range(system.num_clusters)]
+
+    def sample_destination(self, rng: np.random.Generator, system: HeterogeneousSystem, source: int) -> int:
+        cluster = system.cluster_of(source)
+        stay = cluster.num_nodes > 1 and float(rng.random()) < self.locality
+        if stay:
+            lo = cluster.first_global_id
+            draw = lo + int(rng.integers(0, cluster.num_nodes - 1))
+            return draw + 1 if draw >= source else draw
+        outside = system.total_nodes - cluster.num_nodes
+        if outside == 0:  # single-cluster system: fall back to intra
+            draw = int(rng.integers(0, system.total_nodes - 1))
+            return draw + 1 if draw >= source else draw
+        draw = int(rng.integers(0, outside))
+        if draw >= cluster.first_global_id:
+            draw += cluster.num_nodes
+        return draw
+
+
+class HotspotTraffic:
+    """A fraction of all traffic targets one *hot* cluster.
+
+    With probability ``hot_fraction`` the destination is uniform inside the
+    hot cluster; otherwise it is uniform over all other nodes (the paper's
+    baseline).  Models the "popular file server cluster" scenario that
+    motivates non-uniform analysis.
+    """
+
+    def __init__(self, hot_cluster: int, hot_fraction: float) -> None:
+        require(0.0 <= hot_fraction <= 1.0, f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        require(hot_cluster >= 0, "hot_cluster must be a valid cluster index")
+        self.hot_cluster = hot_cluster
+        self.hot_fraction = hot_fraction
+
+    def _check(self, system: SystemConfig) -> None:
+        require(self.hot_cluster < system.num_clusters, f"hot_cluster {self.hot_cluster} out of range for C={system.num_clusters}")
+
+    def outgoing_probability(self, system: SystemConfig, cluster_index: int) -> float:
+        self._check(system)
+        h = self.hot_fraction
+        uniform_u = system.outgoing_probability(cluster_index)
+        if cluster_index == self.hot_cluster:
+            # Hot-directed traffic from inside the hot cluster stays local.
+            return (1.0 - h) * uniform_u
+        return h + (1.0 - h) * uniform_u
+
+    def destination_cluster_weights(self, system: SystemConfig, cluster_index: int) -> list[float]:
+        self._check(system)
+        sizes = system.cluster_sizes
+        n_total = system.total_nodes
+        h = self.hot_fraction
+        weights = []
+        for j in range(system.num_clusters):
+            if j == cluster_index:
+                weights.append(0.0)
+                continue
+            base = (1.0 - h) * sizes[j] / (n_total - 1)
+            if j == self.hot_cluster:
+                base += h
+            weights.append(base)
+        return weights
+
+    def sample_destination(self, rng: np.random.Generator, system: HeterogeneousSystem, source: int) -> int:
+        self._check(system.config)
+        hot = system.clusters[self.hot_cluster]
+        if float(rng.random()) < self.hot_fraction:
+            inside = hot.contains_global(source)
+            pool = hot.num_nodes - (1 if inside else 0)
+            if pool > 0:
+                draw = hot.first_global_id + int(rng.integers(0, pool))
+                if inside and draw >= source:
+                    draw += 1
+                return draw
+        draw = int(rng.integers(0, system.total_nodes - 1))
+        return draw + 1 if draw >= source else draw

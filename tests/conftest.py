@@ -1,0 +1,93 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.cluster import HeterogeneousSystem, homogeneous_system
+from repro.core import (
+    NET1,
+    NET2,
+    ClusterSpec,
+    MessageSpec,
+    SystemConfig,
+    paper_system_544,
+    paper_system_1120,
+)
+from repro.simulation import MeasurementWindow, SimulationSession
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_system() -> SystemConfig:
+    """4 clusters × 8 nodes (m=4, n=2): the workhorse for simulator tests."""
+    return homogeneous_system(switch_ports=4, tree_depth=2, num_clusters=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_hetero_system() -> SystemConfig:
+    """Heterogeneous mix (m=4): depths 1/1/2/3 — 4+4+8+16 = 32 nodes."""
+    return SystemConfig(
+        switch_ports=4,
+        clusters=(
+            ClusterSpec(tree_depth=1, name="a0"),
+            ClusterSpec(tree_depth=1, name="a1"),
+            ClusterSpec(tree_depth=2, name="b"),
+            ClusterSpec(tree_depth=3, name="c"),
+        ),
+        icn2=NET1,
+        name="tiny-hetero",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_message() -> MessageSpec:
+    return MessageSpec(length_flits=16, flit_bytes=256.0)
+
+
+@pytest.fixture(scope="session")
+def paper_1120() -> SystemConfig:
+    return paper_system_1120()
+
+
+@pytest.fixture(scope="session")
+def paper_544() -> SystemConfig:
+    return paper_system_544()
+
+
+@pytest.fixture(scope="session")
+def small_session(small_system, small_message) -> SimulationSession:
+    """Session reused across simulator tests (fabric construction is paid once)."""
+    return SimulationSession(small_system, small_message)
+
+
+@pytest.fixture(scope="session")
+def hetero_session(tiny_hetero_system, small_message) -> SimulationSession:
+    return SimulationSession(tiny_hetero_system, small_message)
+
+
+@pytest.fixture(scope="session")
+def small_fabric(small_session):
+    return small_session.fabric
+
+
+@pytest.fixture()
+def fast_window() -> MeasurementWindow:
+    """Small measurement window for quick simulator tests."""
+    return MeasurementWindow(warmup=300, measured=3_000, drain=300)
+
+
+@pytest.fixture(scope="session")
+def built_small_system(small_system) -> HeterogeneousSystem:
+    return HeterogeneousSystem(small_system)
+
+
+NETWORKS = {"net1": NET1, "net2": NET2}

@@ -1,0 +1,69 @@
+"""Addressing scheme tests (topology.addressing)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import NodeAddress, SwitchAddress, node_address_from_index, node_index_from_address
+
+tree_params = st.tuples(st.sampled_from([2, 3, 4]), st.integers(1, 4))
+
+
+class TestNodeAddress:
+    def test_digit_properties(self):
+        addr = NodeAddress((5, 2, 1))
+        assert addr.depth == 3
+        assert addr.top_digit == 5
+        assert addr.leaf_port == 1
+
+    def test_prefix(self):
+        addr = NodeAddress((5, 2, 1))
+        assert addr.prefix(1) == (5, 2)
+        assert addr.prefix(2) == (5,)
+        assert addr.prefix(3) == ()
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            NodeAddress((1, 0)).prefix(3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NodeAddress(())
+
+
+class TestSwitchAddress:
+    def test_column_length_must_match_level(self):
+        with pytest.raises(ValueError):
+            SwitchAddress(level=3, prefix=(1,), column=(0,))
+
+    def test_root_detection(self):
+        assert SwitchAddress(level=2, prefix=(), column=(0,)).is_root
+        assert not SwitchAddress(level=1, prefix=(3,), column=()).is_root
+
+
+class TestRoundtrip:
+    @given(tree_params, st.data())
+    def test_index_address_roundtrip(self, params, data):
+        q, n = params
+        total = 2 * q**n
+        index = data.draw(st.integers(0, total - 1))
+        addr = node_address_from_index(index, radix=q, depth=n)
+        assert addr.depth == n
+        assert 0 <= addr.top_digit < 2 * q
+        assert all(0 <= d < q for d in addr.digits[1:])
+        assert node_index_from_address(addr, radix=q) == index
+
+    @given(tree_params)
+    def test_all_addresses_distinct(self, params):
+        q, n = params
+        total = 2 * q**n
+        seen = {node_address_from_index(i, radix=q, depth=n).digits for i in range(total)}
+        assert len(seen) == total
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            node_address_from_index(8, radix=2, depth=1)
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(ValueError):
+            node_index_from_address(NodeAddress((1, 9)), radix=2)

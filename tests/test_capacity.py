@@ -1,0 +1,88 @@
+"""Capacity-planning tests (analysis.capacity)."""
+
+import pytest
+
+from repro.analysis import (
+    headroom_report,
+    max_load_for_latency,
+    required_upgrade_factor,
+)
+from repro.core import AnalyticalModel, MessageSpec, find_saturation_load, paper_system_544
+
+MSG = MessageSpec(32, 256.0)
+
+
+class TestMaxLoadForLatency:
+    def test_budget_is_met_and_tight(self, paper_544):
+        model = AnalyticalModel(paper_544, MSG)
+        budget = 1.5 * model.zero_load_latency()
+        plan = max_load_for_latency(paper_544, MSG, budget)
+        assert plan.feasible
+        achieved_latency = model.evaluate(plan.achieved).latency
+        assert achieved_latency <= budget
+        # Tight: 1% more load must bust the budget (or saturate).
+        over = model.evaluate(plan.achieved * 1.02)
+        assert over.saturated or over.latency > budget
+
+    def test_infeasible_budget(self, paper_544):
+        model = AnalyticalModel(paper_544, MSG)
+        plan = max_load_for_latency(paper_544, MSG, 0.5 * model.zero_load_latency())
+        assert not plan.feasible
+        assert plan.achieved == 0.0
+
+    def test_generous_budget_approaches_saturation(self, paper_544):
+        plan = max_load_for_latency(paper_544, MSG, 1e9)
+        lam_star = find_saturation_load(AnalyticalModel(paper_544, MSG))
+        assert plan.feasible
+        assert plan.achieved == pytest.approx(lam_star, rel=1e-3)
+
+    def test_monotone_in_budget(self, paper_544):
+        model = AnalyticalModel(paper_544, MSG)
+        zero = model.zero_load_latency()
+        small = max_load_for_latency(paper_544, MSG, 1.2 * zero).achieved
+        large = max_load_for_latency(paper_544, MSG, 2.0 * zero).achieved
+        assert large > small
+
+    def test_rejects_nonpositive_budget(self, paper_544):
+        with pytest.raises(ValueError):
+            max_load_for_latency(paper_544, MSG, 0.0)
+
+
+class TestRequiredUpgrade:
+    def test_icn2_upgrade_reaches_target(self, paper_544):
+        base = find_saturation_load(AnalyticalModel(paper_544, MSG))
+        plan = required_upgrade_factor(paper_544, MSG, "icn2", 1.3 * base)
+        assert plan.feasible
+        assert 1.0 < plan.achieved < 2.0
+
+    def test_non_binding_roles_infeasible(self, paper_544):
+        base = find_saturation_load(AnalyticalModel(paper_544, MSG))
+        for role in ("ecn1", "icn1"):
+            plan = required_upgrade_factor(paper_544, MSG, role, 1.3 * base, max_factor=4.0)
+            assert not plan.feasible
+
+    def test_no_upgrade_needed(self, paper_544):
+        base = find_saturation_load(AnalyticalModel(paper_544, MSG))
+        plan = required_upgrade_factor(paper_544, MSG, "icn2", 0.5 * base)
+        assert plan.feasible
+        assert plan.achieved == 1.0
+
+    def test_factor_is_minimal(self, paper_544):
+        from repro.analysis import scale_network
+
+        base = find_saturation_load(AnalyticalModel(paper_544, MSG))
+        target = 1.25 * base
+        plan = required_upgrade_factor(paper_544, MSG, "icn2", target)
+        at = find_saturation_load(AnalyticalModel(scale_network(paper_544, "icn2", plan.achieved), MSG))
+        below = find_saturation_load(
+            AnalyticalModel(scale_network(paper_544, "icn2", plan.achieved * 0.98), MSG)
+        )
+        assert at >= target
+        assert below < target
+
+
+class TestHeadroom:
+    def test_headroom_is_bottleneck_report(self, paper_544):
+        report = headroom_report(paper_544, MSG, 2e-4)
+        assert report.binding.kind == "concentrator"
+        assert report.load == 2e-4

@@ -1,0 +1,116 @@
+"""Concentrator/dispatcher semantics tests (DESIGN.md §3 item 11).
+
+The reproduction's most consequential interpretation decision is how the
+concentrators behave; these tests pin each element of the adopted
+semantics so regressions are caught by name.
+"""
+
+import pytest
+
+from repro.cluster.channels import Concentrator
+from repro.simulation import MeasurementWindow, MessageLevelWormholeSimulator, make_streams
+from repro.simulation.flitsim import FlitLevelSimulator
+
+
+class TestReceptionFlags:
+    def test_cd_reception_channels_flagged(self, small_fabric):
+        flagged = {
+            cid for cid in range(small_fabric.num_channels) if small_fabric.cd_reception[cid]
+        }
+        expected = {
+            cid
+            for cid, ch in enumerate(small_fabric.channels)
+            if isinstance(ch.target, Concentrator)
+        }
+        assert flagged == expected
+        # Every cluster has reception links on both the ECN1 and ICN2 side.
+        nets = {small_fabric.channels[cid].network[0] for cid in flagged}
+        assert nets == {"ecn1", "icn2"}
+
+    def test_paper_mode_leaves_reception_uncontended(self, small_fabric, fast_window):
+        sim = MessageLevelWormholeSimulator(small_fabric, fast_window, 1e-3, make_streams(0))
+        for cid in range(small_fabric.num_channels):
+            if small_fabric.cd_reception[cid]:
+                assert sim._uncontended[cid]
+
+    def test_store_and_forward_contends_reception(self, small_fabric, fast_window):
+        sim = MessageLevelWormholeSimulator(
+            small_fabric, fast_window, 1e-3, make_streams(0), cd_mode="store_and_forward"
+        )
+        assert not any(
+            sim._uncontended[cid]
+            for cid in range(small_fabric.num_channels)
+            if small_fabric.cd_reception[cid]
+        )
+
+    def test_flit_engine_mirrors_flags(self, small_fabric, fast_window):
+        paper = FlitLevelSimulator(small_fabric, fast_window, 1e-3, make_streams(0))
+        snf = FlitLevelSimulator(
+            small_fabric, fast_window, 1e-3, make_streams(0), cd_mode="store_and_forward"
+        )
+        for cid in range(small_fabric.num_channels):
+            if small_fabric.cd_reception[cid]:
+                assert paper._uncontended[cid]
+                assert not snf._uncontended[cid]
+
+
+class TestCutThroughBehaviour:
+    def test_paper_mode_single_serialization(self, small_session, fast_window):
+        """Cut-through: inter latency ≈ header hops + one (M-1)·τ_max drain,
+        NOT three full drains."""
+        run = small_session.run(1e-4, seed=1, window=fast_window)
+        fabric = small_session.fabric
+        m = fabric.message.length_flits
+        # Bound: slowest possible journey under single serialization.
+        worst_single = 0.0
+        for src, dst in [(0, 9), (0, 17), (0, 25)]:
+            segs = fabric.resolve(src, dst)
+            total = sum(fabric.flit_time[c] for s in segs for c in s.channel_ids)
+            total += (m - 1) * max(s.bottleneck_flit_time for s in segs)
+            worst_single = max(worst_single, total)
+        # At near-zero load the inter mean must sit below ~1.3x that bound
+        # (queueing allowance), far below the 3x of store-and-forward.
+        assert run.stats.mean_inter < 1.3 * worst_single
+
+    def test_concentrate_utilization_matches_nominal_service(self, small_session, fast_window):
+        """At light load the concentrate link's utilisation is ≈
+        λ_out · M · τ(ICN2 segment) — Eq. 37's service, not the E1 rate."""
+        lam = 5e-4
+        run = small_session.run(lam, seed=2, window=fast_window)
+        fabric = small_session.fabric
+        system = fabric.system
+        m = fabric.message.length_flits
+        n_i = system.clusters[0].num_nodes
+        u = system.config.outgoing_probability(0)
+        seg = fabric.resolve(0, n_i + 1)[1]  # an ICN2 segment
+        nominal = n_i * lam * u * m * seg.bottleneck_flit_time
+        assert run.network_utilization["cd-concentrate"] == pytest.approx(nominal, rel=0.25)
+
+    def test_store_and_forward_latency_decomposes(self, small_session, fast_window):
+        """S&F at near-zero load = Σ per-segment (hops + drain)."""
+        run = small_session.run(5e-5, seed=3, window=MeasurementWindow(20, 300, 20), cd_mode="store_and_forward")
+        fabric = small_session.fabric
+        m = fabric.message.length_flits
+        samples = []
+        for src, dst in [(0, 9), (3, 20), (7, 30)]:
+            total = 0.0
+            for seg in fabric.resolve(src, dst):
+                total += sum(fabric.flit_time[c] for c in seg.channel_ids)
+                total += (m - 1) * seg.bottleneck_flit_time
+            samples.append(total)
+        assert min(samples) * 0.95 < run.stats.mean_inter < max(samples) * 1.2
+
+
+class TestDispatchSpreading:
+    def test_dispatch_traffic_spreads_over_roots(self, small_session, fast_window):
+        """Multi-root attach: both dispatch links of a cluster carry load."""
+        run = small_session.run(2e-3, seed=4, window=fast_window)
+        del run  # busy accounting is aggregated; check structurally instead
+        fabric = small_session.fabric
+        roots_used = set()
+        cluster1 = fabric.system.clusters[1]
+        for dst in range(cluster1.first_global_id, cluster1.first_global_id + cluster1.num_nodes):
+            seg = fabric.resolve(0, dst)[2]
+            first_channel = fabric.channels[seg.channel_ids[0]]
+            roots_used.add(first_channel.target)
+        assert len(roots_used) == len(cluster1.ecn1.root_switches)

@@ -1,0 +1,129 @@
+"""Command-line interface tests (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if hasattr(a, "choices") and a.choices)
+        assert set(sub.choices) == {
+            "describe",
+            "latency",
+            "saturation",
+            "sweep",
+            "simulate",
+            "validate",
+            "capacity",
+            "report",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "--system", "2048"])
+
+
+class TestDescribe:
+    def test_describe_1120(self, capsys):
+        code, out, _ = run_cli(capsys, "describe", "--system", "1120")
+        assert code == 0
+        assert "N=1120" in out
+        assert "U_i (Eq.2)" in out
+
+    def test_describe_544(self, capsys):
+        code, out, _ = run_cli(capsys, "describe", "--system", "544")
+        assert code == 0
+        assert "C=16" in out
+
+
+class TestLatency:
+    def test_latency_report(self, capsys):
+        code, out, _ = run_cli(capsys, "latency", "--system", "544", "--load", "2e-4")
+        assert code == 0
+        assert "mean message latency" in out
+        assert "L_in" in out and "W_d" in out
+
+    def test_saturated_load_reported(self, capsys):
+        code, out, _ = run_cli(capsys, "latency", "--system", "544", "--load", "1")
+        assert code == 0
+        assert "SATURATED" in out
+
+    def test_negative_load_is_an_error(self, capsys):
+        code, _, err = run_cli(capsys, "latency", "--system", "544", "--load=-1e-4")
+        assert code == 2
+        assert "error" in err
+
+
+class TestSaturation:
+    def test_reports_knee_and_binding(self, capsys):
+        code, out, _ = run_cli(capsys, "saturation", "--system", "1120", "--flits", "32")
+        assert code == 0
+        assert "5.18e-04" in out or "5.177e-04" in out or "5.1767e-04" in out
+        assert "concentrator" in out
+
+
+class TestSweep:
+    def test_sweep_rows(self, capsys):
+        code, out, _ = run_cli(capsys, "sweep", "--system", "544", "--points", "4")
+        assert code == 0
+        assert out.count("\n") >= 6
+        assert "lambda_g" in out
+
+
+class TestSimulate:
+    def test_simulate_small_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "--system",
+            "544",
+            "--load",
+            "2e-4",
+            "--messages",
+            "500",
+            "--seed",
+            "1",
+        )
+        assert code == 0
+        assert "simulated mean latency" in out
+        assert "completed=True" in out
+
+
+class TestValidate:
+    def test_validate_curve(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "validate",
+            "--system",
+            "544",
+            "--points",
+            "2",
+            "--messages",
+            "500",
+        )
+        assert code == 0
+        assert "model" in out and "simulation" in out
+
+
+class TestCapacity:
+    def test_feasible_budget(self, capsys):
+        code, out, _ = run_cli(capsys, "capacity", "--system", "544", "--budget", "60")
+        assert code == 0
+        assert "feasible" in out
+
+    def test_infeasible_budget(self, capsys):
+        code, out, _ = run_cli(capsys, "capacity", "--system", "544", "--budget", "1")
+        assert code == 0
+        assert "INFEASIBLE" in out

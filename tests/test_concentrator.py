@@ -1,0 +1,79 @@
+"""Concentrator/dispatcher queue tests (core.concentrator vs Eqs. 36-38)."""
+
+import pytest
+
+from repro.core import (
+    NET1,
+    NET2,
+    MessageSpec,
+    ModelOptions,
+    concentrator_pair_wait,
+    mg1_wait,
+    switch_channel_time,
+)
+from repro.core.parameters import ClusterClass
+
+MSG = MessageSpec(32, 256.0)
+
+
+def make_class(nodes, u, tree_depth=2):
+    return ClusterClass(tree_depth=tree_depth, nodes=nodes, count=1, u=u, icn1=NET1, ecn1=NET2, name="k")
+
+
+class TestEq37:
+    def test_matches_manual_mg1(self):
+        src, dst = make_class(128, 0.886), make_class(32, 0.972)
+        lam_g = 1e-4
+        result = concentrator_pair_wait(src, dst, icn2=NET1, generation_rate=lam_g, message=MSG)
+        lam_i2 = 0.5 * lam_g * (128 * 0.886 + 32 * 0.972)
+        service = 32 * switch_channel_time(NET1, 256.0)
+        variance = (service - 32 * switch_channel_time(NET2, 256.0)) ** 2  # Eq. 36
+        expected = mg1_wait(lam_i2, service, variance)
+        assert result.single_buffer_wait == pytest.approx(expected.wait)
+        assert result.pair_wait == pytest.approx(2 * expected.wait)
+        assert result.utilization == pytest.approx(expected.utilization)
+
+    def test_saturation_load_closed_form(self):
+        """λ* = 2 / ((N_i U_i + N_j U_j) M t_cs^{I2}) — the Figs. 3-6 knees."""
+        src = dst = make_class(128, 0.886)
+        service = 32 * switch_channel_time(NET1, 256.0)
+        lam_star = 2.0 / ((128 * 0.886 * 2) * service) * 2  # pair sum = 2 N U
+        # simplify: lam_star = 1 / (N U * service)
+        lam_star = 1.0 / (128 * 0.886 * service)
+        below = concentrator_pair_wait(src, dst, icn2=NET1, generation_rate=0.99 * lam_star, message=MSG)
+        above = concentrator_pair_wait(src, dst, icn2=NET1, generation_rate=1.01 * lam_star, message=MSG)
+        assert not below.saturated
+        assert above.saturated
+
+    def test_variance_vanishes_for_matched_networks(self):
+        src = ClusterClass(tree_depth=2, nodes=32, count=1, u=0.9, icn1=NET1, ecn1=NET1, name="m")
+        result = concentrator_pair_wait(src, src, icn2=NET1, generation_rate=1e-4, message=MSG)
+        lam_i2 = 0.5 * 1e-4 * (2 * 32 * 0.9)
+        service = 32 * switch_channel_time(NET1, 256.0)
+        assert result.single_buffer_wait == pytest.approx(mg1_wait(lam_i2, service, 0.0).wait)
+
+
+class TestOptions:
+    def test_source_outgoing_rate_option(self):
+        src, dst = make_class(128, 0.886), make_class(8, 0.993)
+        opts = ModelOptions(concentrator_rate="source_outgoing")
+        result = concentrator_pair_wait(src, dst, icn2=NET1, generation_rate=1e-4, message=MSG, options=opts)
+        service = 32 * switch_channel_time(NET1, 256.0)
+        assert result.arrival_rate == pytest.approx(1e-4 * 128 * 0.886)
+        assert result.utilization == pytest.approx(1e-4 * 128 * 0.886 * service)
+
+    def test_source_outgoing_hotter_than_pair_mean_for_big_source(self):
+        src, dst = make_class(128, 0.886), make_class(8, 0.993)
+        paper = concentrator_pair_wait(src, dst, icn2=NET1, generation_rate=2e-4, message=MSG)
+        phys = concentrator_pair_wait(
+            src, dst, icn2=NET1, generation_rate=2e-4, message=MSG, options=ModelOptions(concentrator_rate="source_outgoing")
+        )
+        assert phys.utilization > paper.utilization
+
+    def test_exponential_variance_option(self):
+        src, dst = make_class(32, 0.97), make_class(32, 0.97)
+        paper = concentrator_pair_wait(src, dst, icn2=NET1, generation_rate=2e-4, message=MSG)
+        expo = concentrator_pair_wait(
+            src, dst, icn2=NET1, generation_rate=2e-4, message=MSG, options=ModelOptions(variance_approximation="exponential")
+        )
+        assert expo.single_buffer_wait != pytest.approx(paper.single_buffer_wait)

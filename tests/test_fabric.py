@@ -1,0 +1,81 @@
+"""Resolved-fabric tests (simulation.fabric)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import HeterogeneousSystem
+from repro.core import MessageSpec, ModelOptions, ServiceTimes
+from repro.simulation import GROUPS, ResolvedFabric
+
+
+class TestChannelTable:
+    def test_flit_times_match_service_primitives(self, small_fabric, small_system, small_message):
+        st_icn1 = ServiceTimes.for_network(small_system.clusters[0].icn1, small_message)
+        st_icn2 = ServiceTimes.for_network(small_system.icn2, small_message)
+        for cid, ch in enumerate(small_fabric.channels):
+            tau = small_fabric.flit_time[cid]
+            if ch.network[0] == "icn1":
+                expected = st_icn1.t_cn if ch.kind.is_node_link else st_icn1.t_cs
+                assert tau == pytest.approx(expected)
+            elif ch.network == ("icn2",):
+                expected = st_icn2.t_cn if ch.kind.is_node_link else st_icn2.t_cs
+                assert tau == pytest.approx(expected)
+
+    def test_groups_cover_all_channels(self, small_fabric):
+        counts = small_fabric.channels_per_group()
+        assert set(counts) == set(GROUPS)
+        assert sum(counts.values()) == small_fabric.num_channels
+
+    def test_cd_groups_identified(self, small_fabric):
+        counts = small_fabric.channels_per_group()
+        # 4 clusters (m=4, n=2 -> 2 roots each): 1 concentrate link per
+        # cluster into ICN2; 2 dispatch links per cluster (one per root).
+        assert counts["cd-concentrate"] == 4
+        assert counts["cd-dispatch"] == 8
+
+    def test_ejection_flags(self, small_fabric):
+        from repro.topology.addressing import NodeAddress
+
+        for cid, ch in enumerate(small_fabric.channels):
+            flagged = bool(small_fabric.ejection[cid])
+            physical = ch.kind.value == "switch_to_node" and isinstance(ch.target, NodeAddress)
+            assert flagged == physical
+
+    def test_options_affect_tcn(self, small_system, small_message):
+        system = HeterogeneousSystem(small_system)
+        half = ResolvedFabric(system, small_message)
+        full = ResolvedFabric(system, small_message, ModelOptions(tcn_convention="full_network_latency"))
+        assert np.any(full.flit_time > half.flit_time)
+        assert np.all(full.flit_time >= half.flit_time)
+
+
+class TestResolve:
+    def test_intra_single_segment(self, small_fabric):
+        segments = small_fabric.resolve(0, 3)
+        assert len(segments) == 1
+        assert all(isinstance(c, int) for c in segments[0].channel_ids)
+
+    def test_inter_three_segments(self, small_fabric):
+        segments = small_fabric.resolve(0, 9)
+        assert len(segments) == 3
+
+    def test_bottleneck_is_max_flit_time(self, small_fabric):
+        for seg in small_fabric.resolve(0, 9):
+            taus = [small_fabric.flit_time[c] for c in seg.channel_ids]
+            assert seg.bottleneck_flit_time == pytest.approx(max(taus))
+
+    def test_caches_are_reused(self, small_fabric):
+        a = small_fabric.resolve(0, 9)
+        b = small_fabric.resolve(0, 9)
+        assert a[0] is b[0]  # ascend cache
+        assert a[1] is b[1]  # icn2 pair cache
+        assert a[2] is b[2]  # descend cache
+
+    def test_shared_legs_across_destinations(self, small_fabric):
+        to_b = small_fabric.resolve(0, 9)
+        to_c = small_fabric.resolve(0, 17)
+        assert to_b[0] is to_c[0]  # same ascend leg object
+
+    def test_self_resolution_rejected(self, small_fabric):
+        with pytest.raises(ValueError):
+            small_fabric.resolve(3, 3)

@@ -1,0 +1,48 @@
+"""Import-isolation tests: every subpackage imports cleanly on its own.
+
+Circular imports can hide behind favourable import orders in a shared test
+process; these tests import each public module in a *fresh* interpreter so
+any cycle fails loudly regardless of ordering.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.topology",
+    "repro.cluster",
+    "repro.simulation",
+    "repro.validation",
+    "repro.validation.report",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.io",
+    "repro.io.reporting",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_module_imports_in_isolation(module):
+    proc = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, f"importing {module} failed:\n{proc.stderr}"
+
+
+def test_cli_entrypoint_runs_in_isolation():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "describe", "--system", "544"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "N=544" in proc.stdout

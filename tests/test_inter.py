@@ -1,0 +1,122 @@
+"""Inter-cluster model tests (core.inter vs paper §3.2)."""
+
+import pytest
+
+from repro.core import (
+    NET1,
+    NET2,
+    MessageSpec,
+    ModelOptions,
+    ServiceTimes,
+    inter_pair_latency,
+    journey_length_pmf,
+    pair_rates,
+)
+from repro.core.parameters import ClusterClass
+
+MSG = MessageSpec(32, 256.0)
+
+
+def make_class(tree_depth, nodes, u, name="x"):
+    return ClusterClass(tree_depth=tree_depth, nodes=nodes, count=1, u=u, icn1=NET1, ecn1=NET2, name=name)
+
+
+def evaluate(src, dst, lam, **kw):
+    return inter_pair_latency(
+        src,
+        dst,
+        switch_ports=8,
+        icn2=NET1,
+        icn2_tree_depth=2,
+        generation_rate=lam,
+        message=MSG,
+        **kw,
+    )
+
+
+class TestRates:
+    def test_eq22_eq23(self):
+        src = make_class(3, 128, 0.886)
+        dst = make_class(2, 32, 0.972)
+        lam_e1, lam_i2 = pair_rates(src, dst, 1e-4)
+        expected = 1e-4 * (128 * 0.886 + 32 * 0.972)
+        assert lam_e1 == pytest.approx(expected)
+        assert lam_i2 == pytest.approx(expected / 2)
+
+    def test_channel_rates_use_source_geometry(self):
+        src = make_class(3, 128, 0.9)
+        dst = make_class(1, 8, 0.99)
+        result = evaluate(src, dst, 1e-4)
+        from repro.core import mean_journey_links
+
+        lam_e1 = 1e-4 * (128 * 0.9 + 8 * 0.99)
+        assert result.ecn1_channel_rate == pytest.approx(lam_e1 * mean_journey_links(8, 3) / (4 * 3 * 128))
+        assert result.icn2_channel_rate == pytest.approx(0.5 * lam_e1 * mean_journey_links(8, 2) / (4 * 2))
+
+
+class TestZeroLoad:
+    def test_zero_load_structure(self):
+        src = make_class(2, 32, 0.97)
+        dst = make_class(2, 32, 0.97)
+        result = evaluate(src, dst, 0.0)
+        st_e1 = ServiceTimes.for_network(NET2, MSG)
+        st_i2 = ServiceTimes.for_network(NET1, MSG)
+        # At lambda = 0 the pipeline reduces to the stage-0 transfer time.
+        # Stage 0 is an ECN1(i) switch stage unless r == ... r>=1 always,
+        # so stage 0 type is t_cs(E1) except for the degenerate single-stage
+        # journey (impossible inter-cluster: K >= 3).
+        assert result.network_latency == pytest.approx(32 * st_e1.t_cs)
+        # Eq. 34: E = (r-1) t_cs_i + (v-1) t_cs_j + 2l t_cs_I2 + t_cn_j.
+        pmf = journey_length_pmf(8, 2)
+        e_r = sum(pmf[r - 1] * (r - 1) for r in (1, 2)) * st_e1.t_cs
+        e_l = sum(pmf[l - 1] * 2 * l for l in (1, 2)) * st_i2.t_cs
+        expected_tail = e_r + e_r + e_l + st_e1.t_cn
+        assert result.tail_time == pytest.approx(expected_tail)
+        assert result.source_wait == 0.0
+
+
+class TestOptions:
+    def test_relaxing_factor_reduces_latency(self):
+        src = make_class(2, 32, 0.97)
+        dst = make_class(2, 32, 0.97)
+        with_delta = evaluate(src, dst, 3e-4)
+        without = evaluate(src, dst, 3e-4, options=ModelOptions(relaxing_factor=False))
+        # delta = beta_I2/beta_E1 = 0.5 < 1 shrinks ICN2 stage waits.
+        assert with_delta.network_latency < without.network_latency
+        assert with_delta.relaxing_factor == pytest.approx(0.5)
+
+    def test_aggregate_pair_rate_saturates_much_earlier(self):
+        src = make_class(3, 128, 0.886)
+        dst = make_class(3, 128, 0.886)
+        lam = 2e-4
+        paper = evaluate(src, dst, lam)
+        literal = evaluate(src, dst, lam, options=ModelOptions(source_queue_rate="aggregate_pair"))
+        assert not paper.saturated
+        assert literal.saturated  # DESIGN.md §3 item 8
+
+    def test_source_queue_uses_per_node_inter_rate(self):
+        src = make_class(2, 32, 0.9)
+        dst = make_class(2, 32, 0.9)
+        result = evaluate(src, dst, 1e-3)
+        assert result.source_utilization == pytest.approx(1e-3 * 0.9 * result.network_latency)
+
+
+class TestBehaviour:
+    def test_monotone_in_load(self):
+        src = make_class(2, 32, 0.97)
+        dst = make_class(1, 8, 0.99)
+        totals = [evaluate(src, dst, lam).total for lam in (1e-5, 1e-4, 5e-4)]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_asymmetric_pairs_differ(self):
+        big = make_class(3, 128, 0.886)
+        small = make_class(1, 8, 0.993)
+        ab = evaluate(big, small, 2e-4)
+        ba = evaluate(small, big, 2e-4)
+        # Different source geometry and source-queue load: not symmetric.
+        assert ab.total != pytest.approx(ba.total)
+
+    def test_longer_trees_give_longer_latency(self):
+        shallow = evaluate(make_class(1, 8, 0.99), make_class(1, 8, 0.99), 1e-5)
+        deep = evaluate(make_class(3, 128, 0.9), make_class(3, 128, 0.9), 1e-5)
+        assert deep.tail_time > shallow.tail_time

@@ -1,0 +1,106 @@
+"""Intra-cluster model tests (core.intra vs paper §3.1)."""
+
+import pytest
+
+from repro.core import (
+    NET1,
+    MessageSpec,
+    ModelOptions,
+    ServiceTimes,
+    intra_cluster_latency,
+    journey_length_pmf,
+    mean_journey_links,
+)
+from repro.core.parameters import ClusterClass
+
+
+def make_class(tree_depth=2, nodes=32, count=1, u=0.5, icn1=NET1, ecn1=NET1, m=8):
+    del m
+    return ClusterClass(tree_depth=tree_depth, nodes=nodes, count=count, u=u, icn1=icn1, ecn1=ecn1, name="t")
+
+
+MSG = MessageSpec(32, 256.0)
+
+
+class TestZeroLoad:
+    def test_zero_load_depth1(self):
+        # n=1: every journey is one stage; T_in = M t_cn, E_in = t_cn.
+        cls = make_class(tree_depth=1, nodes=8, u=0.8)
+        result = intra_cluster_latency(cls, switch_ports=8, generation_rate=0.0, message=MSG)
+        st = ServiceTimes.for_network(NET1, MSG)
+        assert result.network_latency == pytest.approx(32 * st.t_cn)
+        assert result.tail_time == pytest.approx(st.t_cn)
+        assert result.source_wait == 0.0
+        assert result.total == pytest.approx(32 * st.t_cn + st.t_cn)
+
+    def test_zero_load_general_depth(self):
+        # At lambda=0 all waits vanish: T_in = sum_h P_h * M * t(stage 0).
+        cls = make_class(tree_depth=3, nodes=128, u=0.5)
+        result = intra_cluster_latency(cls, switch_ports=8, generation_rate=0.0, message=MSG)
+        st = ServiceTimes.for_network(NET1, MSG)
+        pmf = journey_length_pmf(8, 3)
+        t_in = pmf[0] * 32 * st.t_cn + (pmf[1] + pmf[2]) * 32 * st.t_cs
+        e_in = sum(pmf[h - 1] * (2 * (h - 1) * st.t_cs + st.t_cn) for h in (1, 2, 3))
+        assert result.network_latency == pytest.approx(t_in)
+        assert result.tail_time == pytest.approx(e_in)
+
+
+class TestRates:
+    def test_eq7_aggregate_rate(self):
+        cls = make_class(tree_depth=2, nodes=32, u=0.75)
+        result = intra_cluster_latency(cls, switch_ports=8, generation_rate=1e-3, message=MSG)
+        assert result.aggregate_rate == pytest.approx(32 * 1e-3 * 0.25)
+
+    def test_eq10_channel_rate(self):
+        cls = make_class(tree_depth=2, nodes=32, u=0.0)
+        result = intra_cluster_latency(cls, switch_ports=8, generation_rate=2e-3, message=MSG)
+        lam = 32 * 2e-3
+        expected = lam * mean_journey_links(8, 2) / (4 * 2 * 32)
+        assert result.channel_rate == pytest.approx(expected)
+
+
+class TestLoadBehaviour:
+    def test_monotone_in_load(self):
+        cls = make_class(tree_depth=2, nodes=32, u=0.5)
+        latencies = [
+            intra_cluster_latency(cls, switch_ports=8, generation_rate=lam, message=MSG).total
+            for lam in (1e-5, 1e-4, 1e-3)
+        ]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_saturation_flag(self):
+        cls = make_class(tree_depth=2, nodes=32, u=0.0)
+        result = intra_cluster_latency(cls, switch_ports=8, generation_rate=10.0, message=MSG)
+        assert result.saturated
+        assert result.total == float("inf")
+
+    def test_per_node_rate_option_reduces_wait(self):
+        cls = make_class(tree_depth=2, nodes=32, u=0.5)
+        paper = intra_cluster_latency(cls, switch_ports=8, generation_rate=5e-4, message=MSG)
+        per_node = intra_cluster_latency(
+            cls,
+            switch_ports=8,
+            generation_rate=5e-4,
+            message=MSG,
+            options=ModelOptions(source_queue_rate="per_node"),
+        )
+        assert per_node.source_wait < paper.source_wait
+
+    def test_exponential_variance_option_increases_wait(self):
+        cls = make_class(tree_depth=3, nodes=128, u=0.5)
+        paper = intra_cluster_latency(cls, switch_ports=8, generation_rate=5e-4, message=MSG)
+        expo = intra_cluster_latency(
+            cls,
+            switch_ports=8,
+            generation_rate=5e-4,
+            message=MSG,
+            options=ModelOptions(variance_approximation="exponential"),
+        )
+        # sigma^2 = T^2 >= (T - M t_cn)^2 for T >= M t_cn / 2 (always true here).
+        assert expo.source_wait > paper.source_wait
+
+    def test_blocking_fraction_grows_with_load(self):
+        cls = make_class(tree_depth=2, nodes=32, u=0.2)
+        low = intra_cluster_latency(cls, switch_ports=8, generation_rate=1e-5, message=MSG)
+        high = intra_cluster_latency(cls, switch_ports=8, generation_rate=2e-3, message=MSG)
+        assert high.blocking_fraction > low.blocking_fraction

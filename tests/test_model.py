@@ -1,0 +1,161 @@
+"""Top-level model tests (core.model vs paper Eqs. 1-3, 35, 38-39)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticalModel,
+    ClusterSpec,
+    MessageSpec,
+    ModelOptions,
+    SystemConfig,
+    paper_message,
+    paper_system_544,
+    paper_system_1120,
+    switch_channel_time,
+)
+from repro.core.sweep import find_saturation_load
+from repro.workloads import UniformTraffic
+
+MSG = MessageSpec(32, 256.0)
+
+
+class TestComposition:
+    def test_eq3_is_node_weighted_mean(self, paper_1120):
+        model = AnalyticalModel(paper_1120, MSG)
+        result = model.evaluate(1e-4)
+        manual = sum(b.mean * b.nodes * b.count for b in result.clusters) / 1120
+        assert result.latency == pytest.approx(manual)
+
+    def test_eq1_mixture(self, paper_544):
+        model = AnalyticalModel(paper_544, MSG)
+        result = model.evaluate(1e-4)
+        for b in result.clusters:
+            expected = (1 - b.outgoing_probability) * b.intra.total + b.outgoing_probability * b.outward
+            assert b.mean == pytest.approx(expected)
+
+    def test_eq39_outward_is_network_plus_concentrator(self, paper_544):
+        result = AnalyticalModel(paper_544, MSG).evaluate(1e-4)
+        for b in result.clusters:
+            assert b.outward == pytest.approx(b.inter_network + b.concentrator_wait)
+
+    def test_classes_cover_all_clusters(self, paper_1120):
+        model = AnalyticalModel(paper_1120, MSG)
+        assert sum(c.count for c in model.cluster_classes) == 32
+
+
+class TestAggregationExactness:
+    def test_class_aggregation_matches_singleton_classes(self, paper_544):
+        """Grouping clusters into classes is an exact rewrite of Eq. 35/38.
+
+        Perturbing every cluster's ICN1 bandwidth by a relatively negligible
+        (1e-9) distinct amount forces one singleton class per cluster while
+        leaving the numbers effectively unchanged.
+        """
+        from dataclasses import replace
+
+        aggregated = AnalyticalModel(paper_544, MSG).evaluate(2e-4)
+        clusters = tuple(
+            replace(spec, icn1=replace(spec.icn1, bandwidth=spec.icn1.bandwidth + 1e-9 * (i + 1)))
+            for i, spec in enumerate(paper_544.clusters)
+        )
+        exploded_cfg = replace(paper_544, clusters=clusters)
+        exploded = AnalyticalModel(exploded_cfg, MSG)
+        assert len(exploded.cluster_classes) == paper_544.num_clusters
+        assert exploded.evaluate(2e-4).latency == pytest.approx(aggregated.latency, rel=1e-6)
+
+    def test_uniform_pattern_matches_traffic_weighted_average(self, paper_544):
+        """Pattern mode weights destinations by traffic; UniformTraffic must
+        reproduce the closed-form model under the traffic_weighted option."""
+        pattern_result = AnalyticalModel(paper_544, MSG, pattern=UniformTraffic()).evaluate(2e-4)
+        weighted = AnalyticalModel(
+            paper_544, MSG, ModelOptions(inter_average="traffic_weighted")
+        ).evaluate(2e-4)
+        assert pattern_result.latency == pytest.approx(weighted.latency, rel=1e-9)
+
+
+class TestSaturation:
+    @pytest.mark.parametrize(
+        "system_fixture,m_flits,d_m",
+        [
+            ("paper_1120", 32, 256.0),
+            ("paper_1120", 64, 256.0),
+            ("paper_544", 32, 256.0),
+            ("paper_544", 64, 512.0),
+        ],
+    )
+    def test_saturation_matches_concentrator_closed_form(self, request, system_fixture, m_flits, d_m):
+        """λ* = 1 / (max_i N_i U_i · M · t_cs^{I2}) — DESIGN.md §3 item 7."""
+        system = request.getfixturevalue(system_fixture)
+        message = MessageSpec(m_flits, d_m)
+        model = AnalyticalModel(system, message)
+        lam_star = find_saturation_load(model)
+        sizes = system.cluster_sizes
+        max_nu = max(n * system.outgoing_probability(i) for i, n in enumerate(sizes))
+        predicted = 1.0 / (max_nu * m_flits * switch_channel_time(system.icn2, d_m))
+        assert lam_star == pytest.approx(predicted, rel=1e-3)
+
+    def test_paper_figure_ranges(self):
+        """The model's knees land on the paper's figure x-ranges."""
+        expectations = [
+            (paper_system_1120(), 32, 5e-4),  # Fig. 3 axis
+            (paper_system_1120(), 64, 2.5e-4),  # Fig. 4 axis
+            (paper_system_544(), 32, 1e-3),  # Fig. 5 axis
+            (paper_system_544(), 64, 5e-4),  # Fig. 6 axis
+        ]
+        for system, m_flits, x_max in expectations:
+            lam_star = find_saturation_load(AnalyticalModel(system, MessageSpec(m_flits, 256.0)))
+            assert 0.85 * x_max <= lam_star <= 1.15 * x_max
+
+    def test_saturated_result_reports_resources(self, paper_1120):
+        model = AnalyticalModel(paper_1120, MSG)
+        result = model.evaluate(1e-3)
+        assert result.saturated
+        assert result.latency == float("inf")
+        assert any("concentrator" in r for r in result.saturated_resources)
+
+
+class TestBehaviour:
+    def test_monotone_in_load(self, paper_544):
+        model = AnalyticalModel(paper_544, MSG)
+        grid = np.linspace(1e-5, 9e-4, 8)
+        lat = [model.evaluate(x).latency for x in grid]
+        assert all(a < b for a, b in zip(lat, lat[1:]))
+
+    def test_larger_flits_increase_latency(self, paper_544):
+        small = AnalyticalModel(paper_544, MessageSpec(32, 256.0)).evaluate(1e-4).latency
+        large = AnalyticalModel(paper_544, MessageSpec(32, 512.0)).evaluate(1e-4).latency
+        assert large > 1.5 * small
+
+    def test_single_cluster_has_no_inter_component(self):
+        cfg = SystemConfig(switch_ports=4, clusters=(ClusterSpec(2),))
+        result = AnalyticalModel(cfg, MSG).evaluate(1e-4)
+        (breakdown,) = result.clusters
+        assert breakdown.outgoing_probability == 0.0
+        assert breakdown.outward == 0.0
+        assert breakdown.mean == pytest.approx(breakdown.intra.total)
+
+    def test_zero_load_latency_positive(self, paper_1120):
+        assert AnalyticalModel(paper_1120, MSG).zero_load_latency() > 0
+
+    def test_breakdown_lookup(self, paper_1120):
+        result = AnalyticalModel(paper_1120, MSG).evaluate(1e-4)
+        assert result.breakdown_for(result.clusters[0].name) is result.clusters[0]
+        with pytest.raises(KeyError):
+            result.breakdown_for("nope")
+
+    def test_traffic_weighted_average_differs(self, paper_1120):
+        paper = AnalyticalModel(paper_1120, MSG).evaluate(3e-4).latency
+        weighted = AnalyticalModel(
+            paper_1120, MSG, ModelOptions(inter_average="traffic_weighted")
+        ).evaluate(3e-4).latency
+        assert weighted != pytest.approx(paper)
+
+    def test_rejects_bad_inputs(self, paper_544):
+        with pytest.raises(ValueError):
+            AnalyticalModel("nope", MSG)
+        with pytest.raises(ValueError):
+            AnalyticalModel(paper_544, "nope")
+        model = AnalyticalModel(paper_544, MSG)
+        with pytest.raises(ValueError):
+            model.evaluate(-1.0)

@@ -1,0 +1,60 @@
+"""Organisation generators and paper Table 1 tests (cluster.organizations)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    homogeneous_system,
+    organization_string,
+    paper_organizations,
+    random_heterogeneous_system,
+    table1_rows,
+)
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        assert rows[0] == {
+            "N": 1120,
+            "C": 32,
+            "m": 8,
+            "organization": "n=1 x12, n=2 x16, n=3 x4",
+        }
+        assert rows[1] == {
+            "N": 544,
+            "C": 16,
+            "m": 4,
+            "organization": "n=3 x8, n=4 x3, n=5 x5",
+        }
+
+    def test_paper_organizations_order(self):
+        big, small = paper_organizations()
+        assert big.total_nodes == 1120
+        assert small.total_nodes == 544
+
+
+class TestGenerators:
+    def test_homogeneous(self):
+        cfg = homogeneous_system(switch_ports=8, tree_depth=2, num_clusters=8)
+        assert cfg.total_nodes == 8 * 32
+        assert len(set(s.tree_depth for s in cfg.clusters)) == 1
+
+    def test_homogeneous_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            homogeneous_system(switch_ports=8, tree_depth=1, num_clusters=3)
+
+    def test_random_heterogeneous_depths_in_range(self):
+        rng = np.random.default_rng(1)
+        cfg = random_heterogeneous_system(rng, switch_ports=4, num_clusters=8, min_depth=1, max_depth=3)
+        assert all(1 <= s.tree_depth <= 3 for s in cfg.clusters)
+        assert cfg.num_clusters == 8
+
+    def test_random_heterogeneous_reproducible(self):
+        a = random_heterogeneous_system(np.random.default_rng(7), switch_ports=4, num_clusters=4)
+        b = random_heterogeneous_system(np.random.default_rng(7), switch_ports=4, num_clusters=4)
+        assert a.cluster_sizes == b.cluster_sizes
+
+    def test_organization_string_run_lengths(self):
+        cfg = homogeneous_system(switch_ports=4, tree_depth=2, num_clusters=4)
+        assert organization_string(cfg) == "n=2 x4"

@@ -1,0 +1,89 @@
+"""End-to-end path construction tests (cluster.pathing)."""
+
+import pytest
+
+from repro.cluster import Concentrator, HeterogeneousSystem, build_path, inter_path, intra_path
+from repro.topology import ChannelKind
+
+
+class TestIntraPath:
+    def test_single_segment(self, built_small_system):
+        path = intra_path(built_small_system, 0, 3)
+        assert len(path.segments) == 1
+        assert path.segments[0].label == "icn1"
+        assert not path.is_inter_cluster
+
+    def test_uses_only_own_icn1(self, built_small_system):
+        path = intra_path(built_small_system, 9, 12)  # cluster 1 (ids 8..15)
+        assert {ch.network for seg in path.segments for ch in seg.channels} == {("icn1", 1)}
+
+    def test_rejects_cross_cluster(self, built_small_system):
+        with pytest.raises(ValueError):
+            intra_path(built_small_system, 0, 9)
+
+    def test_rejects_self(self, built_small_system):
+        with pytest.raises(ValueError):
+            intra_path(built_small_system, 0, 0)
+
+
+class TestInterPath:
+    def test_three_segments(self, built_small_system):
+        path = inter_path(built_small_system, 0, 9)
+        assert [s.label for s in path.segments] == ["ecn1-up", "icn2", "ecn1-down"]
+        assert path.is_inter_cluster
+
+    def test_segment_networks(self, built_small_system):
+        path = inter_path(built_small_system, 0, 9)
+        up, mid, down = path.segments
+        assert {ch.network for ch in up.channels} == {("ecn1", 0)}
+        assert {ch.network for ch in mid.channels} == {("icn2",)}
+        assert {ch.network for ch in down.channels} == {("ecn1", 1)}
+
+    def test_up_leg_ends_at_concentrator(self, built_small_system):
+        path = inter_path(built_small_system, 0, 9)
+        last = path.segments[0].channels[-1]
+        assert isinstance(last.target, Concentrator)
+        assert last.target.cluster_index == 0
+        assert last.kind is ChannelKind.SWITCH_TO_NODE
+
+    def test_down_leg_starts_at_concentrator(self, built_small_system):
+        path = inter_path(built_small_system, 0, 9)
+        first = path.segments[2].channels[-0]
+        assert isinstance(first.source, Concentrator)
+        assert first.source.cluster_index == 1
+        assert first.kind is ChannelKind.NODE_TO_SWITCH
+
+    def test_icn2_leg_connects_the_right_concentrators(self, built_small_system):
+        path = inter_path(built_small_system, 0, 25)  # cluster 0 -> cluster 3
+        mid = path.segments[1].channels
+        assert isinstance(mid[0].source, Concentrator) and mid[0].source.cluster_index == 0
+        assert isinstance(mid[-1].target, Concentrator) and mid[-1].target.cluster_index == 3
+
+    def test_leg_lengths(self, built_small_system):
+        # m=4, n=2 clusters: up = n+1 = 3 channels; down = n+1 = 3.
+        path = inter_path(built_small_system, 0, 9)
+        assert path.segments[0].num_links == 3
+        assert path.segments[2].num_links == 3
+
+    def test_rejects_same_cluster(self, built_small_system):
+        with pytest.raises(ValueError):
+            inter_path(built_small_system, 0, 3)
+
+
+class TestBuildPath:
+    def test_dispatches_correctly(self, built_small_system):
+        assert not build_path(built_small_system, 0, 3).is_inter_cluster
+        assert build_path(built_small_system, 0, 9).is_inter_cluster
+
+    def test_total_links_consistency(self, built_small_system):
+        for src, dst in [(0, 5), (0, 9), (3, 30)]:
+            path = build_path(built_small_system, src, dst)
+            assert path.total_links == sum(s.num_links for s in path.segments)
+
+    def test_hetero_system_paths(self, tiny_hetero_system):
+        system = HeterogeneousSystem(tiny_hetero_system)
+        # cluster c (depth 3, 16 nodes) is the last: ids 16..31
+        path = build_path(system, 0, 31)
+        up, mid, down = path.segments
+        assert up.num_links == 1 + 1  # n=1: node->root(+CD)
+        assert down.num_links == 3 + 1  # n=3: CD->root->...->node

@@ -1,0 +1,118 @@
+"""Traffic-pattern tests (workloads.patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticalModel, MessageSpec
+from repro.workloads import HotspotTraffic, LocalityTraffic, UniformTraffic
+
+MSG = MessageSpec(16, 256.0)
+
+
+def sampled_outgoing_fraction(pattern, system, src, draws=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    cluster = system.cluster_of(src)
+    out = sum(
+        1
+        for _ in range(draws)
+        if not cluster.contains_global(pattern.sample_destination(rng, system, src))
+    )
+    return out / draws
+
+
+class TestUniform:
+    def test_model_u_matches_eq2(self, small_system):
+        pattern = UniformTraffic()
+        for i in range(small_system.num_clusters):
+            assert pattern.outgoing_probability(small_system, i) == pytest.approx(
+                small_system.outgoing_probability(i)
+            )
+
+    def test_sampling_matches_model_u(self, built_small_system, small_system):
+        pattern = UniformTraffic()
+        frac = sampled_outgoing_fraction(pattern, built_small_system, 0)
+        assert frac == pytest.approx(pattern.outgoing_probability(small_system, 0), abs=0.02)
+
+    def test_weights_proportional_to_size(self, tiny_hetero_system):
+        weights = UniformTraffic().destination_cluster_weights(tiny_hetero_system, 0)
+        assert weights[0] == 0.0
+        assert weights[1:] == [4.0, 8.0, 16.0]
+
+
+class TestLocality:
+    def test_sampling_matches_declared_u(self, built_small_system, small_system):
+        pattern = LocalityTraffic(locality=0.7)
+        frac = sampled_outgoing_fraction(pattern, built_small_system, 3)
+        assert frac == pytest.approx(0.3, abs=0.02)
+
+    def test_never_self(self, built_small_system):
+        pattern = LocalityTraffic(locality=0.9)
+        rng = np.random.default_rng(1)
+        assert all(pattern.sample_destination(rng, built_small_system, 5) != 5 for _ in range(500))
+
+    def test_model_latency_decreases_with_locality(self, small_system):
+        """More local traffic avoids the slow inter-cluster path."""
+        lam = 5e-4
+        low = AnalyticalModel(small_system, MSG, pattern=LocalityTraffic(0.1)).evaluate(lam)
+        high = AnalyticalModel(small_system, MSG, pattern=LocalityTraffic(0.9)).evaluate(lam)
+        assert high.latency < low.latency
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ValueError):
+            LocalityTraffic(1.5)
+
+
+class TestHotspot:
+    def test_u_formula_non_hot_cluster(self, small_system):
+        pattern = HotspotTraffic(hot_cluster=2, hot_fraction=0.4)
+        u_unif = small_system.outgoing_probability(0)
+        assert pattern.outgoing_probability(small_system, 0) == pytest.approx(0.4 + 0.6 * u_unif)
+
+    def test_u_formula_hot_cluster(self, small_system):
+        pattern = HotspotTraffic(hot_cluster=2, hot_fraction=0.4)
+        u_unif = small_system.outgoing_probability(2)
+        assert pattern.outgoing_probability(small_system, 2) == pytest.approx(0.6 * u_unif)
+
+    def test_sampling_matches_u(self, built_small_system, small_system):
+        pattern = HotspotTraffic(hot_cluster=2, hot_fraction=0.4)
+        frac = sampled_outgoing_fraction(pattern, built_small_system, 0, seed=3)
+        assert frac == pytest.approx(pattern.outgoing_probability(small_system, 0), abs=0.02)
+
+    def test_hot_cluster_attracts_traffic(self, built_small_system):
+        pattern = HotspotTraffic(hot_cluster=2, hot_fraction=0.5)
+        rng = np.random.default_rng(5)
+        hot = built_small_system.clusters[2]
+        draws = 10_000
+        hits = sum(
+            1
+            for _ in range(draws)
+            if hot.contains_global(pattern.sample_destination(rng, built_small_system, 0))
+        )
+        # 0.5 directly + 0.5 * 8/31 uniformly.
+        expected = 0.5 + 0.5 * 8 / 31
+        assert hits / draws == pytest.approx(expected, abs=0.02)
+
+    def test_weights_sum_matches_sampling_scope(self, small_system):
+        pattern = HotspotTraffic(hot_cluster=1, hot_fraction=0.3)
+        weights = pattern.destination_cluster_weights(small_system, 0)
+        assert weights[0] == 0.0
+        assert weights[1] > weights[2] == weights[3]
+
+    def test_model_accepts_hotspot_pattern(self, small_system):
+        model = AnalyticalModel(small_system, MSG, pattern=HotspotTraffic(1, 0.3))
+        result = model.evaluate(2e-4)
+        assert np.isfinite(result.latency)
+        # The hot cluster's own nodes send less outward.
+        hot = result.clusters[1]
+        cold = result.clusters[0]
+        assert hot.outgoing_probability < cold.outgoing_probability
+
+    def test_out_of_range_hot_cluster_rejected(self, small_system):
+        pattern = HotspotTraffic(hot_cluster=40, hot_fraction=0.3)
+        with pytest.raises(ValueError):
+            pattern.outgoing_probability(small_system, 0)
+
+    def test_never_self(self, built_small_system):
+        pattern = HotspotTraffic(hot_cluster=0, hot_fraction=0.9)
+        rng = np.random.default_rng(2)
+        assert all(pattern.sample_destination(rng, built_small_system, 2) != 2 for _ in range(500))

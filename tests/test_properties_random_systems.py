@@ -1,0 +1,106 @@
+"""Hypothesis property tests over randomly generated organisations.
+
+The model must behave sanely for *any* valid cluster-of-clusters system,
+not just the two paper organisations.  These properties pin down global
+invariants: probability normalisation, monotonicity, composition bounds
+and saturation structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnalyticalModel, MessageSpec
+from repro.core.parameters import ClusterSpec, SystemConfig
+from repro.core.sweep import find_saturation_load
+
+
+@st.composite
+def random_system(draw):
+    m = draw(st.sampled_from([4, 6, 8]))
+    q = m // 2
+    # valid cluster counts: C = 2 q^k
+    k = draw(st.integers(1, 2 if q > 2 else 3))
+    c = 2 * q**k
+    depths = draw(st.lists(st.integers(1, 3), min_size=c, max_size=c))
+    clusters = tuple(ClusterSpec(tree_depth=d, name=f"c{i}") for i, d in enumerate(depths))
+    return SystemConfig(switch_ports=m, clusters=clusters, name="prop")
+
+
+@st.composite
+def random_message(draw):
+    return MessageSpec(draw(st.sampled_from([8, 16, 32, 64])), draw(st.sampled_from([64.0, 256.0, 512.0])))
+
+
+class TestUniversalInvariants:
+    @given(random_system())
+    @settings(max_examples=25)
+    def test_outgoing_probabilities_normalised(self, system):
+        total = system.total_nodes
+        for i in range(system.num_clusters):
+            u = system.outgoing_probability(i)
+            assert 0.0 <= u <= 1.0
+            # Exactly the complement of the intra-destination fraction.
+            n_i = system.cluster_sizes[i]
+            assert u == pytest.approx(1 - (n_i - 1) / (total - 1))
+
+    @given(random_system())
+    @settings(max_examples=25)
+    def test_class_counts_cover_system(self, system):
+        classes = system.cluster_classes()
+        assert sum(c.count for c in classes) == system.num_clusters
+        assert sum(c.count * c.nodes for c in classes) == system.total_nodes
+
+    @given(random_system(), random_message())
+    @settings(max_examples=20)
+    def test_zero_load_latency_positive_and_finite(self, system, message):
+        latency = AnalyticalModel(system, message).zero_load_latency()
+        assert np.isfinite(latency)
+        assert latency > 0
+
+    @given(random_system(), random_message())
+    @settings(max_examples=15)
+    def test_latency_monotone_in_load(self, system, message):
+        model = AnalyticalModel(system, message)
+        lam_star = find_saturation_load(model)
+        lats = [model.evaluate(f * lam_star).latency for f in (0.2, 0.5, 0.8)]
+        assert lats[0] < lats[1] < lats[2]
+
+    @given(random_system(), random_message())
+    @settings(max_examples=15)
+    def test_mean_is_convex_combination_of_components(self, system, message):
+        """ℓ_i lies between L_in and L_out (Eq. 1 is a mixture)."""
+        result = AnalyticalModel(system, message).evaluate(1e-5)
+        for b in result.clusters:
+            lo = min(b.intra.total, b.outward) if b.outward > 0 else b.intra.total
+            hi = max(b.intra.total, b.outward)
+            assert lo - 1e-9 <= b.mean <= hi + 1e-9
+
+    @given(random_system())
+    @settings(max_examples=15)
+    def test_saturation_scales_inversely_with_message_length(self, system):
+        short = find_saturation_load(AnalyticalModel(system, MessageSpec(16, 256.0)))
+        long = find_saturation_load(AnalyticalModel(system, MessageSpec(32, 256.0)))
+        assert long == pytest.approx(short / 2, rel=0.02)
+
+    @given(random_system(), random_message())
+    @settings(max_examples=15)
+    def test_biggest_cluster_has_lowest_outgoing_probability(self, system, message):
+        result = AnalyticalModel(system, message).evaluate(1e-6)
+        by_nodes = sorted(result.clusters, key=lambda b: b.nodes)
+        us = [b.outgoing_probability for b in by_nodes]
+        assert all(a >= b - 1e-12 for a, b in zip(us, us[1:]))
+
+
+class TestTopologyUniversals:
+    @given(st.sampled_from([4, 6, 8, 10, 12]), st.integers(1, 4))
+    @settings(max_examples=30)
+    def test_population_identities(self, m, n):
+        from repro.core import num_nodes, num_switches, switches_per_level
+
+        q = m // 2
+        assert num_nodes(m, n) == 2 * q**n
+        assert num_switches(m, n) == (2 * n - 1) * q ** (n - 1)
+        levels = switches_per_level(m, n)
+        assert levels[-1] * m == 2 * q**n or n == 1  # root down-capacity = N

@@ -1,0 +1,80 @@
+"""M/G/1 queueing tests (core.queueing vs classic results)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import mg1_wait
+
+
+class TestKnownQueues:
+    def test_md1_wait(self):
+        # M/D/1: W = rho * x / (2 (1 - rho))
+        lam, x = 0.5, 1.0
+        rho = lam * x
+        expected = rho * x / (2 * (1 - rho))
+        assert mg1_wait(lam, x, 0.0).wait == pytest.approx(expected)
+
+    def test_mm1_wait(self):
+        # M/M/1: sigma^2 = x^2, W = rho x / (1 - rho)
+        lam, x = 0.25, 2.0
+        rho = lam * x
+        expected = rho * x / (1 - rho)
+        assert mg1_wait(lam, x, x * x).wait == pytest.approx(expected)
+
+    def test_zero_arrivals_wait_nothing(self):
+        result = mg1_wait(0.0, 5.0, 1.0)
+        assert result.wait == 0.0
+        assert result.utilization == 0.0
+        assert not result.saturated
+
+
+class TestSaturation:
+    def test_saturates_at_rho_one(self):
+        result = mg1_wait(1.0, 1.0, 0.0)
+        assert result.saturated
+        assert result.wait == float("inf")
+
+    def test_saturates_beyond_rho_one(self):
+        assert mg1_wait(2.0, 1.0, 0.0).saturated
+
+    def test_infinite_service_is_saturation(self):
+        result = mg1_wait(0.1, float("inf"), 0.0)
+        assert result.saturated
+
+    def test_infinite_service_with_no_arrivals_is_idle(self):
+        result = mg1_wait(0.0, float("inf"), 0.0)
+        assert not result.saturated
+        assert result.wait == 0.0
+
+
+class TestProperties:
+    @given(st.floats(0.01, 0.9), st.floats(0.1, 10.0), st.floats(0.0, 50.0))
+    def test_wait_nonnegative_and_finite_below_saturation(self, rho, x, var):
+        lam = rho / x
+        result = mg1_wait(lam, x, var)
+        assert result.wait >= 0.0
+        assert not result.saturated
+
+    @given(st.floats(0.1, 5.0), st.floats(0.0, 10.0))
+    def test_wait_monotone_in_arrival_rate(self, x, var):
+        lam_star = 1.0 / x
+        waits = [mg1_wait(f * lam_star, x, var).wait for f in (0.2, 0.5, 0.8)]
+        assert waits[0] < waits[1] < waits[2]
+
+    @given(st.floats(0.05, 0.95), st.floats(0.1, 10.0))
+    def test_variance_increases_wait(self, rho, x):
+        lam = rho / x
+        low = mg1_wait(lam, x, 0.0).wait
+        high = mg1_wait(lam, x, 4 * x * x).wait
+        assert high > low
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_wait(-0.1, 1.0, 0.0)
+
+    def test_inconsistent_result_construction_rejected(self):
+        from repro.core.queueing import MG1Result
+
+        with pytest.raises(ValueError):
+            MG1Result(wait=1.0, utilization=1.5, saturated=True)

@@ -1,0 +1,72 @@
+"""Replication/CI tests (simulation.replication)."""
+
+import pytest
+
+from repro.simulation import MeasurementWindow, replicate
+
+
+class TestReplicate:
+    def test_summary_statistics(self, small_session):
+        rep = replicate(
+            small_session,
+            1e-3,
+            replicas=4,
+            base_seed=10,
+            window=MeasurementWindow(100, 800, 100),
+        )
+        means = [r.mean_latency for r in rep.replicas]
+        assert rep.mean_latency == pytest.approx(sum(means) / 4)
+        assert rep.ci_half_width > 0
+        assert rep.ci_low < rep.mean_latency < rep.ci_high
+
+    def test_seeds_are_distinct(self, small_session):
+        rep = replicate(
+            small_session,
+            1e-3,
+            replicas=3,
+            base_seed=0,
+            window=MeasurementWindow(50, 500, 50),
+        )
+        seeds = {r.seed for r in rep.replicas}
+        assert seeds == {0, 1, 2}
+        assert len({r.mean_latency for r in rep.replicas}) == 3
+
+    def test_more_messages_tighten_ci(self, small_session):
+        small = replicate(
+            small_session, 1e-3, replicas=3, base_seed=1, window=MeasurementWindow(50, 400, 50)
+        )
+        large = replicate(
+            small_session, 1e-3, replicas=3, base_seed=1, window=MeasurementWindow(200, 4000, 200)
+        )
+        assert large.relative_half_width < small.relative_half_width
+
+    def test_ci_contains_model_prediction_at_light_load(self, small_system, small_message, small_session):
+        """At light load the model sits within (a slightly widened) CI."""
+        from repro.core import AnalyticalModel
+
+        rep = replicate(
+            small_session,
+            3e-4,
+            replicas=5,
+            base_seed=3,
+            window=MeasurementWindow(200, 2000, 200),
+            confidence=0.99,
+        )
+        predicted = AnalyticalModel(small_system, small_message).evaluate(3e-4).latency
+        # The model carries a small systematic bias; allow CI + 10 %.
+        assert rep.ci_low * 0.9 <= predicted <= rep.ci_high * 1.1
+
+    def test_contains_helper(self, small_session):
+        rep = replicate(
+            small_session, 1e-3, replicas=2, base_seed=5, window=MeasurementWindow(50, 400, 50)
+        )
+        assert rep.contains(rep.mean_latency)
+        assert not rep.contains(rep.ci_high + 1.0)
+
+    def test_requires_two_replicas(self, small_session):
+        with pytest.raises(ValueError):
+            replicate(small_session, 1e-3, replicas=1)
+
+    def test_rejects_bad_confidence(self, small_session):
+        with pytest.raises(ValueError):
+            replicate(small_session, 1e-3, replicas=2, confidence=1.0)

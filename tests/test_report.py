@@ -1,0 +1,62 @@
+"""Reproduction-report tests (validation.report + CLI report command)."""
+
+import pytest
+
+from repro.validation import reproduction_report
+
+
+class TestModelOnlyReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return reproduction_report(points_per_curve=3, include_simulation=False)
+
+    def test_contains_all_sections(self, report):
+        for marker in (
+            "Table 1",
+            "Table 2",
+            "Fig.3",
+            "Fig.4",
+            "Fig.5",
+            "Fig.6",
+            "ICN2 bandwidth study",
+            "Bottleneck audit",
+        ):
+            assert marker in report.text, marker
+
+    def test_payload_has_every_figure_curve(self, report):
+        figure_keys = [k for k in report.payload if k.startswith("Fig.")]
+        # 4 figures x 2 flit sizes
+        assert len(figure_keys) == 8
+
+    def test_model_only_has_no_accuracy_stats(self, report):
+        assert report.light_load_mean_abs_error != report.light_load_mean_abs_error  # NaN
+
+    def test_bottleneck_rows_name_concentrators(self, report):
+        for row in report.payload["bottlenecks"]:
+            assert row[3] == "concentrator"
+
+
+class TestSimulationReport:
+    def test_small_simulated_report(self):
+        report = reproduction_report(
+            messages_per_point=400, points_per_curve=2, include_simulation=True
+        )
+        assert "simulation" in report.text
+        assert report.light_load_max_abs_error == report.light_load_max_abs_error  # not NaN
+        # Short windows are noisy: accept a generous band here; the bench
+        # asserts the tight one at full message counts.
+        assert report.within_paper_band(band=0.30)
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            reproduction_report(messages_per_point=10)
+
+
+class TestCliReport:
+    def test_model_only_via_cli(self, capsys):
+        from repro.cli import main
+
+        code = main(["report", "--model-only", "--points", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out and "Fig.6" in out

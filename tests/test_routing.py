@@ -1,0 +1,130 @@
+"""Up*/Down* routing tests (topology.routing vs paper §2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import (
+    ChannelKind,
+    MPortNTree,
+    ascend_to_root,
+    descend_from_root,
+    nca_level,
+    route,
+    verify_route,
+)
+from repro.topology.routing import home_root
+
+trees = st.tuples(st.sampled_from([4, 6, 8]), st.integers(1, 3))
+
+
+@st.composite
+def tree_and_pair(draw):
+    m, n = draw(trees)
+    tree = MPortNTree(m, n)
+    i = draw(st.integers(0, tree.num_nodes - 1))
+    j = draw(st.integers(0, tree.num_nodes - 2))
+    if j >= i:
+        j += 1
+    return tree, tree.node(i), tree.node(j)
+
+
+class TestNcaLevel:
+    @given(tree_and_pair())
+    def test_symmetric(self, tnp):
+        tree, a, b = tnp
+        assert nca_level(tree, a, b) == nca_level(tree, b, a)
+
+    @given(tree_and_pair())
+    def test_bounds(self, tnp):
+        tree, a, b = tnp
+        assert 1 <= nca_level(tree, a, b) <= tree.tree_depth
+
+    def test_same_leaf_switch_is_level_one(self):
+        tree = MPortNTree(4, 3)
+        assert nca_level(tree, tree.node(0), tree.node(1)) == 1
+
+    def test_different_top_groups_need_root(self):
+        tree = MPortNTree(4, 2)
+        a, b = tree.node(0), tree.node(tree.num_nodes - 1)
+        assert a.top_digit != b.top_digit
+        assert nca_level(tree, a, b) == 2
+
+    def test_identical_nodes_rejected(self):
+        tree = MPortNTree(4, 2)
+        with pytest.raises(ValueError):
+            nca_level(tree, tree.node(0), tree.node(0))
+
+
+class TestRoute:
+    @given(tree_and_pair())
+    def test_route_is_physical_and_updown(self, tnp):
+        tree, a, b = tnp
+        verify_route(tree, route(tree, a, b))
+
+    @given(tree_and_pair())
+    def test_length_is_twice_nca_level(self, tnp):
+        tree, a, b = tnp
+        assert route(tree, a, b).num_links == 2 * nca_level(tree, a, b)
+
+    @given(tree_and_pair())
+    def test_endpoints(self, tnp):
+        tree, a, b = tnp
+        r = route(tree, a, b)
+        assert r.links[0].source == a
+        assert r.links[0].kind is ChannelKind.NODE_TO_SWITCH
+        assert r.links[-1].target == b
+        assert r.links[-1].kind is ChannelKind.SWITCH_TO_NODE
+
+    @given(tree_and_pair())
+    def test_deterministic(self, tnp):
+        tree, a, b = tnp
+        assert route(tree, a, b) == route(tree, a, b)
+
+    def test_all_pairs_small_tree(self):
+        tree = MPortNTree(4, 2)
+        for i in range(tree.num_nodes):
+            for j in range(tree.num_nodes):
+                if i == j:
+                    continue
+                verify_route(tree, route(tree, tree.node(i), tree.node(j)))
+
+
+class TestRootLegs:
+    @given(trees, st.data())
+    def test_ascend_reaches_requested_root(self, params, data):
+        m, n = params
+        tree = MPortNTree(m, n)
+        node = tree.node(data.draw(st.integers(0, tree.num_nodes - 1)))
+        root = data.draw(st.sampled_from(list(tree.root_switches)))
+        leg = ascend_to_root(tree, node, root)
+        assert leg.num_links == n
+        assert leg.links[-1].target == root
+        verify_route(tree, leg)
+
+    @given(trees, st.data())
+    def test_descend_reaches_destination(self, params, data):
+        m, n = params
+        tree = MPortNTree(m, n)
+        node = tree.node(data.draw(st.integers(0, tree.num_nodes - 1)))
+        root = data.draw(st.sampled_from(list(tree.root_switches)))
+        leg = descend_from_root(tree, root, node)
+        assert leg.num_links == n
+        assert leg.links[-1].target == node
+        verify_route(tree, leg)
+
+    @given(trees)
+    def test_home_root_spreads_uniformly(self, params):
+        m, n = params
+        tree = MPortNTree(m, n)
+        from collections import Counter
+
+        counts = Counter(home_root(tree, node) for node in tree.nodes())
+        assert len(counts) == len(tree.root_switches)
+        assert len(set(counts.values())) == 1  # perfectly balanced
+
+    def test_non_root_target_rejected(self):
+        tree = MPortNTree(4, 2)
+        leaf = tree.leaf_switch(tree.node(0))
+        with pytest.raises(ValueError):
+            ascend_to_root(tree, tree.node(0), leaf)

@@ -1,0 +1,74 @@
+"""Channel service-time tests (core.service_times vs paper Eqs. 11-12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    NET1,
+    NET2,
+    MessageSpec,
+    ModelOptions,
+    NetworkCharacteristics,
+    ServiceTimes,
+    node_channel_time,
+    switch_channel_time,
+)
+
+
+class TestSwitchChannelTime:
+    def test_eq12_net1(self):
+        # t_cs = alpha_s + beta * d_m = 0.02 + 256/500
+        assert switch_channel_time(NET1, 256.0) == pytest.approx(0.532)
+
+    def test_eq12_net2(self):
+        assert switch_channel_time(NET2, 256.0) == pytest.approx(0.01 + 256 / 250)
+
+    @given(st.floats(1.0, 4096.0))
+    def test_linear_in_flit_size(self, d_m):
+        t = switch_channel_time(NET1, d_m)
+        assert t == pytest.approx(NET1.switch_latency + d_m / NET1.bandwidth)
+
+
+class TestNodeChannelTime:
+    def test_default_convention_halves_network_latency(self):
+        t = node_channel_time(NET2, 256.0)
+        assert t == pytest.approx(0.5 * 0.05 + 256 / 250)
+
+    def test_full_convention(self):
+        t = node_channel_time(NET2, 256.0, convention="full_network_latency")
+        assert t == pytest.approx(0.05 + 256 / 250)
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(ValueError):
+            node_channel_time(NET1, 256.0, convention="bogus")
+
+    def test_serialisation_term_never_halved(self):
+        # Whatever the convention, a full flit crosses the wire.
+        for convention in ("half_network_latency", "full_network_latency"):
+            t = node_channel_time(NET1, 512.0, convention=convention)
+            assert t >= 512.0 / NET1.bandwidth
+
+
+class TestServiceTimes:
+    def test_for_network_bundles_both(self):
+        st_ = ServiceTimes.for_network(NET1, MessageSpec(32, 256.0))
+        assert st_.t_cs == pytest.approx(0.532)
+        assert st_.t_cn == pytest.approx(0.005 + 0.512)
+
+    def test_message_times_scale_with_flits(self):
+        st_ = ServiceTimes.for_network(NET1, MessageSpec(32, 256.0))
+        assert st_.message_switch_time(32) == pytest.approx(32 * 0.532)
+        assert st_.message_node_time(64) == pytest.approx(64 * st_.t_cn)
+
+    def test_respects_options_convention(self):
+        opts = ModelOptions(tcn_convention="full_network_latency")
+        st_full = ServiceTimes.for_network(NET2, MessageSpec(32, 256.0), opts)
+        st_half = ServiceTimes.for_network(NET2, MessageSpec(32, 256.0))
+        assert st_full.t_cn > st_half.t_cn
+
+    @given(st.floats(10, 2000), st.floats(0, 1), st.floats(0, 1))
+    def test_faster_network_never_slower(self, bandwidth, alpha_n, alpha_s):
+        slow = NetworkCharacteristics(bandwidth=bandwidth, network_latency=alpha_n, switch_latency=alpha_s)
+        fast = NetworkCharacteristics(bandwidth=bandwidth * 2, network_latency=alpha_n, switch_latency=alpha_s)
+        assert switch_channel_time(fast, 256.0) < switch_channel_time(slow, 256.0)

@@ -1,0 +1,82 @@
+"""Backward stage-recursion tests (core.stages vs paper Eqs. 13-14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import StagePipeline, solve_pipeline
+
+
+def pipeline(times, rates):
+    return StagePipeline(np.asarray(times, dtype=float), np.asarray(rates, dtype=float))
+
+
+class TestBaseCases:
+    def test_single_stage_is_pure_transfer(self):
+        # T_0 = M * t_cn for a one-stage (nearest-neighbour) journey.
+        sol = solve_pipeline(pipeline([0.5], [0.1]), 32)
+        assert sol.network_latency == pytest.approx(16.0)
+        assert sol.stage_waits[0] == pytest.approx(0.5 * 0.1 * 16.0**2)
+
+    def test_zero_rate_collapses_to_transfer_times(self):
+        sol = solve_pipeline(pipeline([0.5, 0.5, 0.4], [0.0, 0.0, 0.0]), 10)
+        assert sol.network_latency == pytest.approx(5.0)  # M * t of stage 0 only
+        assert sol.total_wait == 0.0
+
+    def test_hand_computed_two_stage(self):
+        # K=2, M=2, t=[1, 1], eta=[e, e]:
+        # T_1 = 2, W_1 = 0.5 e 4 = 2e; T_0 = 2 + 2e.
+        e = 0.25
+        sol = solve_pipeline(pipeline([1.0, 1.0], [e, e]), 2)
+        assert sol.stage_service_times[1] == pytest.approx(2.0)
+        assert sol.stage_waits[1] == pytest.approx(2 * e)
+        assert sol.network_latency == pytest.approx(2.0 + 2 * e)
+
+    def test_hand_computed_three_stage(self):
+        # Backward: T_2 = M t2; W_2 = .5 e T_2^2; T_1 = M t1 + W_2;
+        # W_1 = .5 e T_1^2; T_0 = M t0 + W_1 + W_2.
+        m, t, e = 4, [0.5, 0.6, 0.7], 0.05
+        t2 = m * t[2]
+        w2 = 0.5 * e * t2 * t2
+        t1 = m * t[1] + w2
+        w1 = 0.5 * e * t1 * t1
+        t0 = m * t[0] + w1 + w2
+        sol = solve_pipeline(pipeline(t, [e, e, e]), m)
+        assert sol.network_latency == pytest.approx(t0)
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0.1, 2.0), min_size=1, max_size=9),
+        st.floats(0.0, 0.05),
+        st.integers(1, 64),
+    )
+    def test_latency_at_least_stage0_transfer(self, times, eta, m):
+        sol = solve_pipeline(pipeline(times, [eta] * len(times)), m)
+        assert sol.network_latency >= m * times[0] - 1e-12
+
+    @given(st.lists(st.floats(0.1, 2.0), min_size=2, max_size=8), st.integers(1, 32))
+    def test_monotone_in_channel_rate(self, times, m):
+        low = solve_pipeline(pipeline(times, [0.001] * len(times)), m)
+        high = solve_pipeline(pipeline(times, [0.01] * len(times)), m)
+        assert high.network_latency > low.network_latency
+
+    @given(st.lists(st.floats(0.1, 2.0), min_size=1, max_size=8), st.floats(0, 0.02))
+    def test_monotone_in_message_length(self, times, eta):
+        rates = [eta] * len(times)
+        short = solve_pipeline(pipeline(times, rates), 8)
+        long = solve_pipeline(pipeline(times, rates), 16)
+        assert long.network_latency > short.network_latency
+
+    def test_extreme_rates_saturate_to_inf_not_overflow(self):
+        sol = solve_pipeline(pipeline([1.0] * 12, [1e30] * 12), 64)
+        assert sol.network_latency == float("inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StagePipeline(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            StagePipeline(np.array([]), np.array([]))

@@ -1,0 +1,96 @@
+"""Closed-form combinatorics tests (core.topology_math vs paper Eqs. 6, 8, 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    journey_length_pmf,
+    mean_journey_links,
+    mean_journey_links_closed_form,
+    nca_level_counts,
+    num_nodes,
+    num_switches,
+    num_unidirectional_channels,
+    radix,
+    switches_per_level,
+)
+
+tree_params = st.tuples(st.sampled_from([4, 6, 8, 10]), st.integers(1, 5))
+
+
+class TestCounts:
+    @pytest.mark.parametrize("m,n,expected", [(8, 1, 8), (8, 2, 32), (8, 3, 128), (4, 5, 64)])
+    def test_num_nodes_paper_values(self, m, n, expected):
+        assert num_nodes(m, n) == expected
+
+    @pytest.mark.parametrize("m,n,expected", [(8, 1, 1), (4, 3, 20), (8, 3, 80)])
+    def test_num_switches(self, m, n, expected):
+        assert num_switches(m, n) == expected
+
+    @given(tree_params)
+    def test_switch_levels_sum_to_total(self, params):
+        m, n = params
+        assert sum(switches_per_level(m, n)) == num_switches(m, n)
+
+    @given(tree_params)
+    def test_channel_count_formula(self, params):
+        m, n = params
+        assert num_unidirectional_channels(m, n) == 4 * n * num_nodes(m, n)
+
+    def test_radix(self):
+        assert radix(8) == 4
+        with pytest.raises(ValueError):
+            radix(7)
+
+
+class TestJourneyPmf:
+    @given(tree_params)
+    def test_pmf_sums_to_one(self, params):
+        m, n = params
+        assert journey_length_pmf(m, n).sum() == pytest.approx(1.0)
+
+    @given(tree_params)
+    def test_counts_sum_to_population(self, params):
+        m, n = params
+        assert nca_level_counts(m, n).sum() == num_nodes(m, n) - 1
+
+    def test_eq6_values_m8_n3(self):
+        # q=4, N=128: P(1)=3/127, P(2)=12/127, P(3)=16*7/127
+        pmf = journey_length_pmf(8, 3)
+        assert pmf[0] == pytest.approx(3 / 127)
+        assert pmf[1] == pytest.approx(12 / 127)
+        assert pmf[2] == pytest.approx(112 / 127)
+
+    def test_depth_one_tree_is_all_root(self):
+        pmf = journey_length_pmf(8, 1)
+        assert pmf.shape == (1,)
+        assert pmf[0] == pytest.approx(1.0)
+
+    @given(tree_params)
+    def test_pmf_nonnegative(self, params):
+        m, n = params
+        assert np.all(journey_length_pmf(m, n) >= 0)
+
+
+class TestMeanDistance:
+    @given(tree_params)
+    def test_closed_form_matches_sum(self, params):
+        m, n = params
+        assert mean_journey_links_closed_form(m, n) == pytest.approx(mean_journey_links(m, n))
+
+    @given(tree_params)
+    def test_bounds(self, params):
+        m, n = params
+        d = mean_journey_links(m, n)
+        assert 2.0 <= d <= 2.0 * n
+
+    def test_root_heavy_distribution_pushes_mean_high(self):
+        # Most destinations cross the root, so D is close to 2n.
+        assert mean_journey_links(8, 3) > 0.9 * 6
+
+    @given(st.sampled_from([4, 6, 8]))
+    def test_monotone_in_depth(self, m):
+        values = [mean_journey_links(m, n) for n in range(1, 6)]
+        assert all(a < b for a, b in zip(values, values[1:]))

@@ -1,0 +1,83 @@
+"""Empirical-vs-closed-form topology distribution tests (topology.properties).
+
+These close the loop between the analytical model's Eq. 6/8 assumptions and
+the concrete topology the simulator runs on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import journey_length_pmf, mean_journey_links
+from repro.topology import (
+    MPortNTree,
+    empirical_mean_links,
+    empirical_nca_distribution,
+    route,
+    verify_route,
+)
+
+trees = st.tuples(st.sampled_from([4, 6, 8]), st.integers(1, 3))
+
+
+class TestEq6Realisation:
+    @given(trees)
+    def test_empirical_pmf_matches_eq6(self, params):
+        m, n = params
+        tree = MPortNTree(m, n)
+        empirical = empirical_nca_distribution(tree, source_index=0)
+        assert np.allclose(empirical, journey_length_pmf(m, n))
+
+    @given(trees, st.data())
+    def test_pmf_source_invariant(self, params, data):
+        """The NCA-level distribution is identical from every source node."""
+        m, n = params
+        tree = MPortNTree(m, n)
+        src = data.draw(st.integers(0, tree.num_nodes - 1))
+        assert np.allclose(
+            empirical_nca_distribution(tree, source_index=src),
+            empirical_nca_distribution(tree, source_index=0),
+        )
+
+    def test_all_pairs_distribution(self):
+        tree = MPortNTree(4, 2)
+        assert np.allclose(empirical_nca_distribution(tree), journey_length_pmf(4, 2))
+
+
+class TestEq8Realisation:
+    @given(trees)
+    def test_empirical_mean_distance_matches_eq8(self, params):
+        m, n = params
+        tree = MPortNTree(m, n)
+        assert empirical_mean_links(tree) == pytest.approx(mean_journey_links(m, n))
+
+
+class TestVerifyRoute:
+    def test_detects_valley(self):
+        """A route that descends then re-ascends must be rejected."""
+        tree = MPortNTree(4, 2)
+        a, b = tree.node(0), tree.node(7)
+        good = route(tree, a, b)
+        verify_route(tree, good)
+        # Construct a valley: go up, down, then up again by concatenation.
+        c = tree.node(1)
+        first = route(tree, a, b)
+        second = route(tree, b, c)
+        from repro.topology import Route
+
+        valley = Route(first.links + second.links)
+        with pytest.raises(ValueError, match="Up\\*/Down\\*|not a physical"):
+            verify_route(tree, valley)
+
+    def test_detects_teleport(self):
+        tree = MPortNTree(4, 2)
+        from repro.topology import ChannelKind, Link, Route
+
+        fake = Route(
+            (
+                Link(tree.node(0), tree.leaf_switch(tree.node(7)), ChannelKind.NODE_TO_SWITCH),
+            )
+        )
+        with pytest.raises(ValueError, match="not a physical link"):
+            verify_route(tree, fake)

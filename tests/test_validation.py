@@ -1,0 +1,110 @@
+"""Validation harness tests (validation.compare, validation.scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticalModel, MessageSpec, find_saturation_load
+from repro.simulation import MeasurementWindow, SimulationSession
+from repro.validation import (
+    all_latency_figures,
+    default_load_grid,
+    figure3,
+    figure5,
+    figure7_systems,
+    light_load_error,
+    run_validation,
+)
+
+
+class TestScenarios:
+    def test_four_latency_figures(self):
+        figures = all_latency_figures()
+        assert [f.figure for f in figures] == ["Fig.3", "Fig.4", "Fig.5", "Fig.6"]
+
+    def test_figure3_definition(self):
+        fig = figure3()
+        assert fig.system.total_nodes == 1120
+        assert [m.length_flits for m in fig.messages] == [32, 32]
+        assert [m.flit_bytes for m in fig.messages] == [256.0, 512.0]
+
+    def test_paper_axis_matches_model_saturation(self):
+        """Each figure's x-axis upper bound sits at the d_m=256 model knee."""
+        for fig in all_latency_figures():
+            model = AnalyticalModel(fig.system, fig.messages[0])
+            lam_star = find_saturation_load(model)
+            assert lam_star == pytest.approx(fig.paper_x_max, rel=0.15)
+
+    def test_load_grid_below_saturation(self):
+        fig = figure5()
+        grid = fig.load_grid(fig.messages[0], points=6)
+        model = AnalyticalModel(fig.system, fig.messages[0])
+        assert len(grid) == 6
+        assert all(not model.is_saturated(x) for x in grid)
+
+    def test_figure7_systems(self):
+        small, big = figure7_systems()
+        assert small.total_nodes == 544
+        assert big.total_nodes == 1120
+
+    def test_default_load_grid_monotone(self, small_system, small_message):
+        grid = default_load_grid(small_system, small_message, points=5)
+        assert np.all(np.diff(grid) > 0)
+
+
+class TestRunValidation:
+    def test_curve_structure(self, small_system, small_message, small_session):
+        grid = default_load_grid(small_system, small_message, points=3, fraction=0.5)
+        curve = run_validation(
+            small_system,
+            small_message,
+            grid,
+            window=MeasurementWindow(100, 1000, 100),
+            session=small_session,
+        )
+        assert len(curve.points) == 3
+        for point in curve.points:
+            assert point.sim_completed
+            assert np.isfinite(point.relative_error)
+
+    def test_rows_shape(self, small_system, small_message, small_session):
+        curve = run_validation(
+            small_system,
+            small_message,
+            [1e-4],
+            window=MeasurementWindow(50, 500, 50),
+            session=small_session,
+        )
+        ((load, model, sim, err),) = curve.as_rows()
+        assert load == pytest.approx(1e-4)
+        assert err == pytest.approx((model - sim) / sim)
+
+    def test_max_abs_error(self, small_system, small_message, small_session):
+        curve = run_validation(
+            small_system,
+            small_message,
+            [1e-4, 5e-4],
+            window=MeasurementWindow(50, 500, 50),
+            session=small_session,
+        )
+        assert curve.max_abs_error() >= abs(curve.points[0].relative_error)
+
+    def test_rejects_empty_loads(self, small_system, small_message):
+        with pytest.raises(ValueError):
+            run_validation(small_system, small_message, [])
+
+
+class TestLightLoadError:
+    def test_small_system_error_reasonable(self, small_system, small_message, small_session):
+        """Model tracks the simulator at light load (paper: 4-8 % at scale)."""
+        point = light_load_error(
+            small_system,
+            small_message,
+            window=MeasurementWindow(200, 2000, 200),
+            session=small_session,
+        )
+        assert point.sim_completed
+        assert abs(point.relative_error) < 0.20
+
+    def test_rejects_bad_fraction(self, small_system, small_message):
+        with pytest.raises(ValueError):
+            light_load_error(small_system, small_message, load_fraction=1.2)

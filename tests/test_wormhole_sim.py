@@ -1,0 +1,127 @@
+"""Message-level wormhole simulator tests (simulation.wormhole)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    MeasurementWindow,
+    MessageLevelWormholeSimulator,
+    make_streams,
+)
+
+
+def isolated_message_latency(fabric, segments, m_flits):
+    """Closed form for an uncontended journey: per segment the header
+    accumulates hop times and the drain adds (M-1)·τ_max (paper cd_mode)."""
+    total = 0.0
+    for seg in segments:
+        total += sum(fabric.flit_time[c] for c in seg.channel_ids)
+    total += (m_flits - 1) * segments[-1].bottleneck_flit_time
+    return total
+
+
+class TestIsolatedMessage:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_single_message_matches_closed_form(self, small_fabric, seed):
+        window = MeasurementWindow(warmup=0, measured=1, drain=0)
+        sim = MessageLevelWormholeSimulator(small_fabric, window, 1e-3, make_streams(seed))
+        result = sim.run()
+        assert result.completed
+        observed = result.stats.mean
+        m = small_fabric.message.length_flits
+        candidates = set()
+        n = small_fabric.system.total_nodes
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                candidates.add(round(isolated_message_latency(small_fabric, small_fabric.resolve(src, dst), m), 9))
+        assert any(abs(observed - c) < 1e-6 for c in candidates)
+
+    def test_single_message_zero_waits(self, small_fabric):
+        window = MeasurementWindow(warmup=0, measured=1, drain=0)
+        sim = MessageLevelWormholeSimulator(small_fabric, window, 1e-3, make_streams(0))
+        result = sim.run()
+        assert result.source_wait_mean == pytest.approx(0.0)
+
+
+class TestDeterminismAndConservation:
+    def test_same_seed_same_result(self, small_fabric, fast_window):
+        runs = [
+            MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(11)).run()
+            for _ in range(2)
+        ]
+        assert runs[0].stats.mean == runs[1].stats.mean
+        assert runs[0].events == runs[1].events
+
+    def test_different_seed_different_result(self, small_fabric, fast_window):
+        a = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(1)).run()
+        b = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(2)).run()
+        assert a.stats.mean != b.stats.mean
+
+    def test_all_measured_messages_delivered(self, small_fabric, fast_window):
+        result = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(3)).run()
+        assert result.completed
+        assert result.stats.count == fast_window.measured
+
+    def test_event_budget_interrupts(self, small_fabric, fast_window):
+        result = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(3)).run(max_events=100)
+        assert not result.completed
+        assert result.events <= 100
+
+
+class TestLoadResponse:
+    def test_latency_increases_with_load(self, small_fabric, fast_window):
+        means = [
+            MessageLevelWormholeSimulator(small_fabric, fast_window, lam, make_streams(5)).run().stats.mean
+            for lam in (1e-4, 2e-3, 6e-3)
+        ]
+        assert means[0] < means[1] < means[2]
+
+    def test_group_utilizations_valid(self, small_session, fast_window):
+        result = small_session.run(2e-3, seed=6, window=fast_window)
+        for group, util in result.network_utilization.items():
+            assert 0.0 <= util <= 1.0, group
+
+    def test_utilization_scales_with_load(self, small_session, fast_window):
+        low = small_session.run(5e-4, seed=6, window=fast_window)
+        high = small_session.run(2e-3, seed=6, window=fast_window)
+        assert high.network_utilization["cd-concentrate"] > low.network_utilization["cd-concentrate"]
+
+
+class TestSemanticsOptions:
+    def test_store_and_forward_slower_than_cut_through(self, small_session, fast_window):
+        paper = small_session.run(3e-4, seed=7, window=fast_window, cd_mode="paper")
+        snf = small_session.run(3e-4, seed=7, window=fast_window, cd_mode="store_and_forward")
+        assert snf.stats.mean_inter > paper.stats.mean_inter * 1.5
+        # Intra traffic has no concentrators: unchanged semantics.
+        assert snf.stats.mean_intra == pytest.approx(paper.stats.mean_intra, rel=0.05)
+
+    def test_ideal_sinks_never_slower(self, small_session, fast_window):
+        real = small_session.run(3e-3, seed=8, window=fast_window)
+        ideal = small_session.run(3e-3, seed=8, window=fast_window, ideal_sinks=True)
+        assert ideal.stats.mean <= real.stats.mean * 1.05
+
+    def test_unknown_cd_mode_rejected(self, small_fabric, fast_window):
+        with pytest.raises(ValueError):
+            MessageLevelWormholeSimulator(
+                small_fabric, fast_window, 1e-3, make_streams(0), cd_mode="bogus"
+            )
+
+
+class TestStatsPlumbing:
+    def test_intra_and_inter_populations(self, small_session, fast_window):
+        result = small_session.run(1e-3, seed=9, window=fast_window)
+        stats = result.stats
+        assert stats.count_intra + stats.count_inter == stats.count
+        # 4 clusters of 8: inter fraction should be near U = 1 - 7/31.
+        inter_fraction = stats.count_inter / stats.count
+        assert inter_fraction == pytest.approx(1 - 7 / 31, abs=0.05)
+
+    def test_per_cluster_means_cover_all_clusters(self, small_session, fast_window):
+        result = small_session.run(1e-3, seed=9, window=fast_window)
+        assert set(result.per_cluster_means) == {0, 1, 2, 3}
+
+    def test_inter_slower_than_intra(self, small_session, fast_window):
+        result = small_session.run(1e-3, seed=9, window=fast_window)
+        assert result.stats.mean_inter > result.stats.mean_intra
