@@ -9,7 +9,7 @@ inside the plotted window.
 
 import pytest
 
-from repro.analysis import icn2_bandwidth_study
+from repro.analysis import curve_label, icn2_bandwidth_study
 from repro.core import MessageSpec, find_saturation_load, AnalyticalModel
 from repro.io import format_whatif_study
 from repro.validation import figure7_systems
@@ -26,8 +26,13 @@ def test_fig7_icn2_bandwidth(benchmark, out_dir):
     )
 
     by_label = {c.label: c for c in study.curves}
-    gain_544 = study.saturation_gain("N=544, base", "N=544, icn2 x1.2")
-    gain_1120 = study.saturation_gain("N=1120, base", "N=1120, icn2 x1.2")
+    sys_544, sys_1120 = figure7_systems()
+    gain_544 = study.saturation_gain(
+        curve_label(sys_544, "base"), curve_label(sys_544, "icn2 x1.2")
+    )
+    gain_1120 = study.saturation_gain(
+        curve_label(sys_1120, "base"), curve_label(sys_1120, "icn2 x1.2")
+    )
     assert 1.1 < gain_544 < 1.25 and 1.1 < gain_1120 < 1.25
 
     knees = {

@@ -2,20 +2,31 @@
 
 The paper's selling point over simulation is evaluation cost.  This bench
 times a full model evaluation for both Table 1 systems, measures the
-class-aggregation speedup (DESIGN.md §3) and reports the model-vs-simulation
+class-aggregation speedup (DESIGN.md §3), the batched-engine speedup over
+a load grid (docs/batched_engine.md) and reports the model-vs-simulation
 wall-time ratio for one figure point.
 """
 
+import time
 from dataclasses import replace
 
+import numpy as np
 import pytest
 
-from repro.core import AnalyticalModel, MessageSpec, paper_system_544, paper_system_1120
+from repro.core import (
+    AnalyticalModel,
+    BatchedModel,
+    MessageSpec,
+    find_saturation_load,
+    paper_system_544,
+    paper_system_1120,
+)
 from repro.analysis import render_table
 
 from benchmarks.conftest import emit
 
 MESSAGE = MessageSpec(32, 256.0)
+GRID_POINTS = 64
 
 
 def exploded(system):
@@ -42,9 +53,59 @@ def test_model_speed_n544(benchmark):
 
 
 @pytest.mark.benchmark(group="performance")
-def test_model_speed_without_class_aggregation(benchmark, out_dir):
-    import time
+def test_batched_grid_speedup(benchmark, out_dir):
+    """The tentpole claim: evaluate_many over a 64-point grid is >= 10x
+    faster than 64 scalar evaluate() calls, and the closed-form saturation
+    load agrees with the reference bisection within its tolerance."""
+    rows = []
+    payload = {}
+    for system in (paper_system_1120(), paper_system_544()):
+        model = AnalyticalModel(system, MESSAGE)
+        engine = BatchedModel(system, MESSAGE)
+        lam_star = engine.saturation_load()
+        grid = np.linspace(0.95 * lam_star / GRID_POINTS, 0.95 * lam_star, GRID_POINTS)
 
+        def wall(fn, repeats=3):
+            fn()  # warm-up: first-call allocator/ufunc setup stays out of the timing
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        t_scalar = wall(lambda: [model.evaluate(float(lam)) for lam in grid])
+        t_batched = wall(lambda: engine.evaluate_many(grid))
+        t_lat_only = wall(lambda: engine.evaluate_many(grid, with_results=False))
+        speedup = t_scalar / t_batched
+        assert speedup > 10, f"batched speedup x{speedup:.1f} below the 10x floor ({system.name})"
+
+        bisected = find_saturation_load(model, method="bisection", rel_tol=1e-4)
+        assert lam_star == pytest.approx(bisected, rel=1e-4)
+        rows.append([system.name, GRID_POINTS, t_scalar, t_batched, t_lat_only, f"x{speedup:.1f}"])
+        payload[system.name] = {
+            "grid_points": GRID_POINTS,
+            "scalar_seconds": t_scalar,
+            "batched_seconds": t_batched,
+            "latency_only_seconds": t_lat_only,
+            "speedup": speedup,
+            "saturation_closed_form": lam_star,
+            "saturation_bisection": bisected,
+        }
+
+    benchmark(lambda: BatchedModel(paper_system_1120(), MESSAGE).evaluate_many(
+        np.linspace(1e-5, 4.5e-4, GRID_POINTS)
+    ))
+    text = render_table(
+        ["system", "points", "64x scalar (s)", "batched (s)", "latency-only (s)", "speedup"],
+        rows,
+        title="Batched load-grid engine vs scalar reference",
+    )
+    emit(out_dir, "model_speed_batched", text, payload=payload)
+
+
+@pytest.mark.benchmark(group="performance")
+def test_model_speed_without_class_aggregation(benchmark, out_dir):
     aggregated = AnalyticalModel(paper_system_1120(), MESSAGE)
     exploded_model = AnalyticalModel(exploded(paper_system_1120()), MESSAGE)
     benchmark(exploded_model.evaluate, 3e-4)

@@ -17,7 +17,7 @@ Run:  python examples/capacity_planning.py
 """
 
 from repro import AnalyticalModel, MessageSpec, find_saturation_load
-from repro.analysis import icn2_bandwidth_study, render_series, render_table, scale_network
+from repro.analysis import curve_label, icn2_bandwidth_study, render_series, render_table, scale_network
 from repro.io import format_whatif_study
 from repro.validation import figure7_systems
 
@@ -26,9 +26,11 @@ def fig7_reproduction() -> None:
     message = MessageSpec(128, 256.0)
     study = icn2_bandwidth_study(figure7_systems(), message, factor=1.2, points=8)
     print(format_whatif_study(study))
-    for system_label in ("N=544", "N=1120"):
-        gain = study.saturation_gain(f"{system_label}, base", f"{system_label}, icn2 x1.2")
-        print(f"  {system_label}: +20% ICN2 bandwidth moves the knee right x{gain:.3f}")
+    for system in figure7_systems():
+        gain = study.saturation_gain(
+            curve_label(system, "base"), curve_label(system, "icn2 x1.2")
+        )
+        print(f"  N={system.total_nodes}: +20% ICN2 bandwidth moves the knee right x{gain:.3f}")
 
 
 def upgrade_sweep() -> None:

@@ -26,6 +26,7 @@ from repro.core import (
     NET1,
     NET2,
     AnalyticalModel,
+    BatchedModel,
     ClusterSpec,
     MessageSpec,
     ModelOptions,
@@ -44,6 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalyticalModel",
+    "BatchedModel",
     "ModelResult",
     "NetworkCharacteristics",
     "ClusterSpec",

@@ -6,6 +6,7 @@ Nothing in this module is part of the public API.
 from __future__ import annotations
 
 import math
+import numbers
 from collections.abc import Iterable, Sequence
 
 
@@ -32,8 +33,14 @@ def require_nonnegative(value: float, name: str) -> None:
 
 
 def require_int(value: int, name: str, *, minimum: int | None = None) -> None:
-    """Validate that *value* is an ``int`` (optionally ``>= minimum``)."""
-    if isinstance(value, bool) or not isinstance(value, int):
+    """Validate that *value* is an integer (optionally ``>= minimum``).
+
+    Accepts any :class:`numbers.Integral` — in particular NumPy integer
+    scalars such as ``np.int64`` produced by grid/array indexing — while
+    still rejecting ``bool`` (and ``np.bool_``, which is not ``Integral``),
+    since ``True`` silently behaving as 1 hides configuration mistakes.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
         raise ValueError(f"{name} must be an integer, got {value!r}")
     if minimum is not None and value < minimum:
         raise ValueError(f"{name} must be >= {minimum}, got {value}")

@@ -14,7 +14,13 @@ from repro.analysis.bottleneck import (
     sim_bottlenecks,
 )
 from repro.analysis.tables import render_curves, render_series, render_table
-from repro.analysis.whatif import WhatIfCurve, WhatIfStudy, icn2_bandwidth_study, scale_network
+from repro.analysis.whatif import (
+    WhatIfCurve,
+    WhatIfStudy,
+    curve_label,
+    icn2_bandwidth_study,
+    scale_network,
+)
 
 __all__ = [
     "CapacityPlan",
@@ -29,6 +35,7 @@ __all__ = [
     "sim_bottlenecks",
     "WhatIfCurve",
     "WhatIfStudy",
+    "curve_label",
     "icn2_bandwidth_study",
     "scale_network",
     "render_table",

@@ -10,18 +10,23 @@ Two complementary views:
   a run.
 
 The audit bench cross-checks the two.
+
+The model view runs on the batched engine
+(:meth:`repro.core.batch.BatchedModel.resource_utilizations`), which shares
+the precomputed decomposition with sweeps and saturation searches instead
+of re-deriving every pair's rates from scratch; the attached saturation
+load is the engine's exact per-resource minimum.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.concentrator import concentrator_pair_wait
-from repro.core.inter import inter_pair_latency
-from repro.core.intra import intra_cluster_latency
-from repro.core.model import AnalyticalModel
+import numpy as np
+
+from repro._util import require
+from repro.core.batch import BatchedModel
 from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
-from repro.core.sweep import find_saturation_load
 from repro.simulation.runner import SimulationResult
 
 __all__ = ["ResourceUtilization", "BottleneckReport", "model_bottlenecks", "sim_bottlenecks"]
@@ -55,85 +60,37 @@ def model_bottlenecks(
     load: float,
     *,
     options: ModelOptions | None = None,
+    engine: BatchedModel | None = None,
 ) -> BottleneckReport:
-    """Enumerate and rank every modelled queue/channel utilisation at *load*."""
-    options = options or ModelOptions()
-    model = AnalyticalModel(system, message, options)
-    classes = model.cluster_classes
-    resources: list[ResourceUtilization] = []
-    m_flits = message.length_flits
-    for i, src in enumerate(classes):
-        intra = intra_cluster_latency(
-            src,
-            switch_ports=system.switch_ports,
-            generation_rate=load,
-            message=message,
-            options=options,
+    """Enumerate and rank every modelled queue/channel utilisation at *load*.
+
+    Pass an existing *engine* (built for the same system/message) to reuse
+    its precompute and saturation cache instead of rebuilding them; leave
+    *options* as ``None`` to adopt the engine's own options, or pass them
+    explicitly to have the match checked.
+    """
+    if engine is None:
+        engine = BatchedModel(system, message, options)
+    else:
+        require(
+            engine.system == system
+            and engine.message == message
+            and (options is None or engine.options == options)
+            and engine.pattern is None,
+            "engine was built for a different system/message/options than the report requests",
         )
-        resources.append(
-            ResourceUtilization(f"{src.name}:icn1-source-queue", intra.source_utilization, "source-queue")
-        )
-        resources.append(
-            ResourceUtilization(
-                f"{src.name}:icn1-channels",
-                intra.channel_rate * m_flits * _tcs(src.icn1, message, options),
-                "channel",
-            )
-        )
-        if system.num_clusters == 1:
-            continue
-        for dst in classes:
-            pair = inter_pair_latency(
-                src,
-                dst,
-                switch_ports=system.switch_ports,
-                icn2=system.icn2,
-                icn2_tree_depth=system.icn2_tree_depth,
-                generation_rate=load,
-                message=message,
-                options=options,
-            )
-            conc = concentrator_pair_wait(
-                src,
-                dst,
-                icn2=system.icn2,
-                generation_rate=load,
-                message=message,
-                options=options,
-            )
-            pair_name = f"{src.name}->{dst.name}"
-            resources.append(
-                ResourceUtilization(f"{pair_name}:ecn1-source-queue", pair.source_utilization, "source-queue")
-            )
-            resources.append(ResourceUtilization(f"{pair_name}:concentrator", conc.utilization, "concentrator"))
-            resources.append(
-                ResourceUtilization(
-                    f"{pair_name}:ecn1-channels",
-                    pair.ecn1_channel_rate * m_flits * _tcs(src.ecn1, message, options),
-                    "channel",
-                )
-            )
-            resources.append(
-                ResourceUtilization(
-                    f"{pair_name}:icn2-channels",
-                    pair.icn2_channel_rate * m_flits * _tcs(system.icn2, message, options),
-                    "channel",
-                )
-            )
+    entries = engine.resource_utilizations(np.array([load], dtype=np.float64))
+    resources = [
+        ResourceUtilization(entry.resource, float(entry.utilization[0]), entry.kind)
+        for entry in entries
+    ]
     ranked = tuple(sorted(resources, key=lambda r: r.utilization, reverse=True))
     return BottleneckReport(
         load=load,
         resources=ranked,
         binding=ranked[0],
-        saturation_load=find_saturation_load(model),
+        saturation_load=engine.saturation_load(),
     )
-
-
-def _tcs(network, message, options):
-    from repro.core.service_times import switch_channel_time
-
-    del options  # t_cs has no convention ambiguity
-    return switch_channel_time(network, message.flit_bytes)
 
 
 def sim_bottlenecks(result: SimulationResult) -> tuple[ResourceUtilization, ...]:

@@ -10,20 +10,24 @@ Answers the questions a system designer actually asks of the paper's model
 * :func:`headroom_report` — utilisation headroom of every modelled
   resource at the operating point.
 
-All answers come from the closed-form model, so a full design-space sweep
-costs milliseconds per point.
+All answers run on the batched engine (:mod:`repro.core.batch`): the
+load-independent decomposition is built once per system variant, the
+latency search refines a vectorised load grid instead of bisecting with
+scalar evaluations, and saturation loads come from the per-resource closed
+forms — so a full design-space sweep costs milliseconds per point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro._util import require, require_positive
 from repro.analysis.bottleneck import BottleneckReport, model_bottlenecks
 from repro.analysis.whatif import scale_network
-from repro.core.model import AnalyticalModel
+from repro.core.batch import BatchedModel, refine_monotone_crossing
 from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
-from repro.core.sweep import find_saturation_load
 
 __all__ = ["CapacityPlan", "max_load_for_latency", "required_upgrade_factor", "headroom_report"]
 
@@ -46,15 +50,18 @@ def max_load_for_latency(
     options: ModelOptions | None = None,
     rel_tol: float = 1e-4,
 ) -> CapacityPlan:
-    """Largest λ_g with mean latency ≤ *latency_budget* (bisection).
+    """Largest λ_g with mean latency ≤ *latency_budget* (batched grid refinement).
 
     The model's latency is strictly increasing in load, so the answer is
     unique; infeasible budgets (below the zero-load latency) are reported
-    rather than raised.
+    rather than raised.  Each refinement round evaluates one vectorised
+    load grid and narrows the bracket to the cell containing the budget
+    crossing.
     """
     require_positive(latency_budget, "latency_budget")
-    model = AnalyticalModel(system, message, options)
-    zero = model.zero_load_latency()
+    require_positive(rel_tol, "rel_tol")
+    engine = BatchedModel(system, message, options)
+    zero = engine.zero_load_latency()
     if latency_budget < zero:
         return CapacityPlan(
             target=latency_budget,
@@ -62,22 +69,23 @@ def max_load_for_latency(
             feasible=False,
             detail=f"budget {latency_budget:g} below zero-load latency {zero:.2f}",
         )
-    lam_star = find_saturation_load(model)
+    lam_star = engine.saturation_load()
     lo, hi = 0.0, lam_star * 0.9999
-    if model.evaluate(hi).latency <= latency_budget:
+    hi_latency = float(engine.evaluate_many(np.array([hi]), with_results=False).latencies[0])
+    if np.isfinite(hi_latency) and hi_latency <= latency_budget:
         return CapacityPlan(
             target=latency_budget,
             achieved=hi,
             feasible=True,
             detail="budget met arbitrarily close to the saturation load",
         )
-    while hi - lo > rel_tol * lam_star:
-        mid = 0.5 * (lo + hi)
-        result = model.evaluate(mid)
-        if result.saturated or result.latency > latency_budget:
-            hi = mid
-        else:
-            lo = mid
+    def beyond_budget(grid: np.ndarray) -> np.ndarray:
+        latencies = engine.evaluate_many(grid, with_results=False).latencies
+        return ~(np.isfinite(latencies) & (latencies <= latency_budget))
+
+    # Monotone latency ⇒ "beyond budget" flips exactly once in (lo, hi]:
+    # lo = 0 is within (budget >= zero-load latency) and hi busts it.
+    lo, hi = refine_monotone_crossing(lo, hi, beyond_budget, rel_tol=rel_tol)
     return CapacityPlan(
         target=latency_budget,
         achieved=lo,
@@ -101,25 +109,33 @@ def required_upgrade_factor(
     Saturation load is monotone non-decreasing in any network's bandwidth,
     so bisection applies; roles that cannot reach the target within
     *max_factor* (they are not the binding resource) are reported
-    infeasible.
+    infeasible.  Every probed factor's saturation load is computed once
+    (closed form, via the batched engine) and cached — the reported
+    ``detail`` strings reuse the cached knees instead of re-running the
+    search.
     """
     require_positive(target_load, "target_load")
     require(max_factor > 1.0, "max_factor must exceed 1")
 
+    knees: dict[float, float] = {}
+
     def knee(factor: float) -> float:
-        cfg = system if factor == 1.0 else scale_network(system, role, factor)
-        return find_saturation_load(AnalyticalModel(cfg, message, options))
+        if factor not in knees:
+            cfg = system if factor == 1.0 else scale_network(system, role, factor)
+            knees[factor] = BatchedModel(cfg, message, options).saturation_load()
+        return knees[factor]
 
     base = knee(1.0)
     if base >= target_load:
         return CapacityPlan(target=target_load, achieved=1.0, feasible=True, detail="no upgrade needed")
-    if knee(max_factor) < target_load:
+    ceiling = knee(max_factor)
+    if ceiling < target_load:
         return CapacityPlan(
             target=target_load,
             achieved=float("inf"),
             feasible=False,
             detail=f"{role} is not the binding resource: x{max_factor:g} still saturates at "
-            f"{knee(max_factor):.3e} < {target_load:.3e}",
+            f"{ceiling:.3e} < {target_load:.3e}",
         )
     lo, hi = 1.0, max_factor
     while hi - lo > rel_tol * hi:

@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._util import require, require_positive
-from repro.core.model import AnalyticalModel
-from repro.core.sweep import find_saturation_load
+from repro.core.batch import BatchedModel
 from repro.simulation.metrics import MeasurementWindow
 from repro.simulation.runner import SimulationSession
 
@@ -51,9 +50,9 @@ def estimate_sim_knee(
     """
     require_positive(threshold_factor, "threshold_factor")
     require(threshold_factor > 1.0, "threshold_factor must exceed 1")
-    model = AnalyticalModel(session.system_config, session.message, session.options)
-    lam_star = find_saturation_load(model)
-    threshold = threshold_factor * model.zero_load_latency()
+    engine = BatchedModel(session.system_config, session.message, session.options)
+    lam_star = engine.saturation_load()
+    threshold = threshold_factor * engine.zero_load_latency()
     window = window or MeasurementWindow.scaled_paper(5_000)
 
     probes: list[tuple[float, float]] = []

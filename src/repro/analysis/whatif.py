@@ -5,6 +5,17 @@ The paper's design-space demonstration increases the ICN2 bandwidth by
 module generalises that study to arbitrary scaling factors and any of the
 three network roles, using the analytical model (as the paper does —
 "The results of analysis ... are depicted in Fig. 7").
+
+Each system variant is evaluated through the batched engine
+(:mod:`repro.core.batch`): one precompute per variant, one vectorised pass
+over the shared load grid, and closed-form saturation loads — the study
+no longer pays a bisection search per curve.
+
+Curve labels embed the system *name* alongside its node count: two
+distinct systems can easily share a total node count (e.g. a base system
+and a rebalanced variant), and a bare ``N=...`` label would make them
+indistinguishable — :meth:`WhatIfStudy.saturation_gain` refuses ambiguous
+labels instead of silently picking the first match.
 """
 
 from __future__ import annotations
@@ -14,11 +25,21 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro._util import require, require_positive
-from repro.core.model import AnalyticalModel
+from repro.core.batch import BatchedModel
 from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
-from repro.core.sweep import find_saturation_load, sweep_load
 
-__all__ = ["WhatIfCurve", "WhatIfStudy", "icn2_bandwidth_study", "scale_network"]
+__all__ = ["WhatIfCurve", "WhatIfStudy", "curve_label", "icn2_bandwidth_study", "scale_network"]
+
+
+def curve_label(system: SystemConfig, suffix: str) -> str:
+    """Canonical label of *system*'s curve with the given *suffix*.
+
+    The single source of the label format, used by
+    :func:`icn2_bandwidth_study` and by consumers that look curves up via
+    :meth:`WhatIfStudy.saturation_gain` — so a format change cannot strand
+    the lookups.
+    """
+    return f"{system.name}: N={system.total_nodes}, {suffix}"
 
 
 @dataclass(frozen=True)
@@ -38,11 +59,23 @@ class WhatIfStudy:
     title: str
     curves: tuple[WhatIfCurve, ...]
 
+    def curve(self, label: str) -> WhatIfCurve:
+        """The unique curve labelled *label*.
+
+        Raises ``KeyError`` when no curve matches and ``ValueError`` when
+        the label is ambiguous (several curves share it) — silently
+        returning the first match would let a duplicate label misattribute
+        a whole study.
+        """
+        matches = [c for c in self.curves if c.label == label]
+        if not matches:
+            raise KeyError(f"no curve labelled {label!r}")
+        require(len(matches) == 1, f"ambiguous label {label!r}: {len(matches)} curves match")
+        return matches[0]
+
     def saturation_gain(self, base_label: str, variant_label: str) -> float:
         """Ratio of saturation loads (variant / base) — the knee shift."""
-        base = next(c for c in self.curves if c.label == base_label)
-        variant = next(c for c in self.curves if c.label == variant_label)
-        return variant.saturation_load / base.saturation_load
+        return self.curve(variant_label).saturation_load / self.curve(base_label).saturation_load
 
 
 def scale_network(system: SystemConfig, role: str, factor: float) -> SystemConfig:
@@ -85,24 +118,26 @@ def icn2_bandwidth_study(
     the paper plots both systems on one axis.
     """
     require(len(systems) >= 1, "at least one system required")
-    base_models = [AnalyticalModel(s, message, options) for s in systems]
-    lam_min = min(find_saturation_load(m) for m in base_models)
+    base_engines = [BatchedModel(s, message, options) for s in systems]
+    lam_min = min(engine.saturation_load() for engine in base_engines)
     grid = np.linspace(grid_fraction * lam_min / points, grid_fraction * lam_min, points)
 
     curves: list[WhatIfCurve] = []
-    for system in systems:
-        for label_suffix, cfg in (
-            ("base", system),
-            (f"icn2 x{factor:g}", scale_network(system, "icn2", factor)),
+    for system, base_engine in zip(systems, base_engines):
+        for label_suffix, engine in (
+            ("base", base_engine),
+            (
+                f"icn2 x{factor:g}",
+                BatchedModel(scale_network(system, "icn2", factor), message, options),
+            ),
         ):
-            model = AnalyticalModel(cfg, message, options)
-            sweep = sweep_load(model, grid)
+            sweep = engine.evaluate_many(grid, with_results=False)
             curves.append(
                 WhatIfCurve(
-                    label=f"N={system.total_nodes}, {label_suffix}",
+                    label=curve_label(system, label_suffix),
                     loads=sweep.loads,
                     latencies=sweep.latencies,
-                    saturation_load=find_saturation_load(model),
+                    saturation_load=engine.saturation_load(),
                 )
             )
     return WhatIfStudy(title=f"ICN2 bandwidth study (M={message.length_flits}, d_m={message.flit_bytes:g})", curves=tuple(curves))

@@ -33,8 +33,8 @@ from repro.analysis import model_bottlenecks, render_series, render_table
 from repro.analysis.capacity import max_load_for_latency
 from repro.core import (
     AnalyticalModel,
+    BatchedModel,
     MessageSpec,
-    find_saturation_load,
     paper_system_544,
     paper_system_1120,
 )
@@ -132,21 +132,24 @@ def _cmd_latency(args) -> str:
 
 def _cmd_saturation(args) -> str:
     system, message = _setup(args)
-    model = AnalyticalModel(system, message)
-    lam_star = find_saturation_load(model)
-    report = model_bottlenecks(system, message, 0.9 * lam_star)
+    engine = BatchedModel(system, message)
+    lam_star = engine.saturation_load()
+    report = model_bottlenecks(system, message, 0.9 * lam_star, engine=engine)
+    per_resource = sorted(engine.saturation_loads().items(), key=lambda kv: kv[1])
+    rows = [[name, f"{lam:.4e}"] for name, lam in per_resource[:5]]
+    table = render_table(["resource", "λ* (ρ=1)"], rows, title="tightest per-resource saturation rates")
     return (
         f"saturation load λ* = {lam_star:.4e} messages/node/time-unit\n"
         f"binding resource   = {report.binding.resource} ({report.binding.kind}, "
-        f"ρ={report.binding.utilization:.3f} at 0.9 λ*)"
+        f"ρ={report.binding.utilization:.3f} at 0.9 λ*)\n\n{table}"
     )
 
 
 def _cmd_sweep(args) -> str:
     system, message = _setup(args)
-    model = AnalyticalModel(system, message)
-    grid = auto_load_grid(model, points=args.points)
-    sweep = sweep_load(model, grid)
+    engine = BatchedModel(system, message)
+    grid = auto_load_grid(engine, points=args.points)
+    sweep = sweep_load(engine, grid, with_results=False)
     return render_series(
         f"model latency, {system.name}, M={message.length_flits}, d_m={message.flit_bytes:g}",
         "lambda_g",

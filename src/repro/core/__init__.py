@@ -4,6 +4,7 @@ Everything a model user needs is re-exported here; see
 :class:`repro.core.model.AnalyticalModel` for the entry point.
 """
 
+from repro.core.batch import BatchedModel, ResourceRates
 from repro.core.concentrator import ConcentratorWait, concentrator_pair_wait
 from repro.core.inter import InterPairLatency, inter_pair_latency, pair_rates
 from repro.core.intra import IntraClusterLatency, intra_cluster_latency
@@ -39,6 +40,8 @@ from repro.core.topology_math import (
 
 __all__ = [
     "AnalyticalModel",
+    "BatchedModel",
+    "ResourceRates",
     "ModelResult",
     "ClusterBreakdown",
     "TrafficPatternLike",

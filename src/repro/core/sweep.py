@@ -3,9 +3,17 @@
 The paper's figures plot mean latency against the traffic generation rate
 ``λ_g`` up to the saturation point.  This module provides:
 
-* :func:`find_saturation_load` — bisection on the model's saturation flag,
+* :func:`find_saturation_load` — exact per-resource saturation via the
+  batched engine (closed form for constant-service queues), with the
+  original full-model bisection kept as ``method="bisection"``,
 * :func:`auto_load_grid` — a figure-ready grid covering (0, fraction·λ*],
 * :func:`sweep_load` — evaluate the model across a grid.
+
+All three accept either a scalar :class:`~repro.core.model.AnalyticalModel`
+or a :class:`~repro.core.batch.BatchedModel`; scalar models are promoted to
+a batched engine once and the engine is cached on the model instance, so
+repeated sweeps/searches pay the load-independent precompute a single time
+(see ``docs/batched_engine.md``).
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import require, require_positive
+from repro.core.batch import BatchedModel
 from repro.core.model import AnalyticalModel, ModelResult
 
 __all__ = ["LoadSweep", "sweep_load", "find_saturation_load", "auto_load_grid"]
@@ -22,7 +31,11 @@ __all__ = ["LoadSweep", "sweep_load", "find_saturation_load", "auto_load_grid"]
 
 @dataclass(frozen=True)
 class LoadSweep:
-    """Model latency curve over a load grid."""
+    """Model latency curve over a load grid.
+
+    ``results`` may be empty when the sweep was produced latency-only
+    (``BatchedModel.evaluate_many(..., with_results=False)``).
+    """
 
     loads: np.ndarray
     latencies: np.ndarray
@@ -37,33 +50,56 @@ class LoadSweep:
         return [(float(lo), float(la)) for lo, la in zip(self.loads, self.latencies)]
 
 
-def sweep_load(model: AnalyticalModel, loads: "np.ndarray | list[float]") -> LoadSweep:
-    """Evaluate *model* at every load in *loads* (ascending not required)."""
-    loads_arr = np.asarray(loads, dtype=np.float64)
-    require(loads_arr.ndim == 1 and loads_arr.size > 0, "loads must be a non-empty 1-D sequence")
-    require(bool(np.all(loads_arr >= 0)), "loads must be non-negative")
-    results = tuple(model.evaluate(float(lam)) for lam in loads_arr)
-    latencies = np.array([r.latency for r in results], dtype=np.float64)
-    return LoadSweep(loads=loads_arr, latencies=latencies, results=results)
+def _engine(model: "AnalyticalModel | BatchedModel") -> BatchedModel:
+    """Promote *model* to its (cached) batched engine."""
+    if isinstance(model, BatchedModel):
+        return model
+    return BatchedModel.from_model(model)
+
+
+def sweep_load(
+    model: "AnalyticalModel | BatchedModel",
+    loads: "np.ndarray | list[float]",
+    *,
+    with_results: bool = True,
+) -> LoadSweep:
+    """Evaluate *model* at every load in *loads* (ascending not required).
+
+    Runs on the batched engine: the load-independent decomposition is built
+    once and the M/G/1 / stage-recursion terms are vectorised across the
+    grid, matching the scalar ``model.evaluate`` loop to float64 round-off.
+    """
+    return _engine(model).evaluate_many(loads, with_results=with_results)
 
 
 def find_saturation_load(
-    model: AnalyticalModel,
+    model: "AnalyticalModel | BatchedModel",
     *,
     upper_hint: float = 1.0,
     rel_tol: float = 1e-4,
     max_iterations: int = 200,
+    method: str = "exact",
 ) -> float:
-    """Smallest ``λ_g`` at which the model saturates, via bisection.
+    """Smallest ``λ_g`` at which the model saturates.
 
-    Expands the bracket geometrically from *upper_hint* first (the model is
-    monotone in load: every queue utilisation is linear in ``λ_g``).
+    ``method="exact"`` (default) takes the minimum of the per-resource
+    saturation rates from :meth:`BatchedModel.saturation_loads` — closed
+    form for the constant-service concentrator queues, a per-resource
+    monotone inversion for the source queues — at a cost independent of
+    ``rel_tol``.  ``method="bisection"`` preserves the original full-model
+    bracketing search (every queue utilisation is monotone in ``λ_g``) and
+    is kept as the reference the exact path is tested against;
+    *upper_hint*, *rel_tol* and *max_iterations* only affect this mode.
     """
     require_positive(upper_hint, "upper_hint")
     require_positive(rel_tol, "rel_tol")
+    require(method in ("exact", "bisection"), f"unknown saturation method {method!r}")
+    if method == "exact":
+        return _engine(model).saturation_load()
+    reference = model.reference_model if isinstance(model, BatchedModel) else model
     lo, hi = 0.0, upper_hint
     expansions = 0
-    while not model.is_saturated(hi):
+    while not reference.is_saturated(hi):
         lo, hi = hi, hi * 4.0
         expansions += 1
         require(expansions < 60, "could not find a saturating load (system unsaturable?)")
@@ -71,7 +107,7 @@ def find_saturation_load(
         if hi - lo <= rel_tol * hi:
             break
         mid = 0.5 * (lo + hi)
-        if model.is_saturated(mid):
+        if reference.is_saturated(mid):
             hi = mid
         else:
             lo = mid
@@ -79,7 +115,7 @@ def find_saturation_load(
 
 
 def auto_load_grid(
-    model: AnalyticalModel,
+    model: "AnalyticalModel | BatchedModel",
     *,
     points: int = 12,
     fraction_of_saturation: float = 0.95,

@@ -27,8 +27,13 @@ def to_jsonable(value: Any) -> Any:
         return {f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
     if isinstance(value, np.ndarray):
         return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.bool_):
+        # Before np.floating/np.integer: np.bool_ is neither, and without
+        # this case it would fall through to str() and round-trip as the
+        # (always truthy) string "True"/"False".
+        return bool(value)
     if isinstance(value, (np.floating, np.integer)):
-        return value.item()
+        return to_jsonable(value.item())  # re-dispatch so non-finite floats get tagged
     if isinstance(value, float) and not np.isfinite(value):
         return {"__float__": "inf" if value > 0 else ("-inf" if value < 0 else "nan")}
     if isinstance(value, dict):

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
+    WhatIfCurve,
+    WhatIfStudy,
     icn2_bandwidth_study,
     model_bottlenecks,
     render_series,
@@ -74,26 +76,64 @@ class TestIcn2Study:
             points=6,
         )
         labels = [c.label for c in study.curves]
+        # Labels carry the system name so equal node counts cannot collide.
         assert labels == [
-            "N=544, base",
-            "N=544, icn2 x1.2",
-            "N=1120, base",
-            "N=1120, icn2 x1.2",
+            "N544-m4-C16: N=544, base",
+            "N544-m4-C16: N=544, icn2 x1.2",
+            "N1120-m8-C32: N=1120, base",
+            "N1120-m8-C32: N=1120, icn2 x1.2",
         ]
         by_label = {c.label: c for c in study.curves}
         # +20% ICN2 bandwidth shifts the knee right by ~19% (service time
         # is alpha_s + d_m/bw, so slightly less than 20%).
-        gain_544 = study.saturation_gain("N=544, base", "N=544, icn2 x1.2")
-        gain_1120 = study.saturation_gain("N=1120, base", "N=1120, icn2 x1.2")
+        gain_544 = study.saturation_gain("N544-m4-C16: N=544, base", "N544-m4-C16: N=544, icn2 x1.2")
+        gain_1120 = study.saturation_gain(
+            "N1120-m8-C32: N=1120, base", "N1120-m8-C32: N=1120, icn2 x1.2"
+        )
         assert 1.1 < gain_544 < 1.25
         assert 1.1 < gain_1120 < 1.25
         # Improvement is largest at the high-traffic end (paper Fig. 7).
-        base = by_label["N=1120, base"].latencies
-        fast = by_label["N=1120, icn2 x1.2"].latencies
+        base = by_label["N1120-m8-C32: N=1120, base"].latencies
+        fast = by_label["N1120-m8-C32: N=1120, icn2 x1.2"].latencies
         improvement = (base - fast) / base
         assert improvement[-1] > improvement[0]
         # The N=544 system stays flat deeper into the shared grid.
-        assert by_label["N=544, base"].latencies[-1] < by_label["N=1120, base"].latencies[-1]
+        assert (
+            by_label["N544-m4-C16: N=544, base"].latencies[-1]
+            < by_label["N1120-m8-C32: N=1120, base"].latencies[-1]
+        )
+
+
+class TestWhatIfLabels:
+    """Regression: labels must stay unique for systems with equal node counts."""
+
+    def test_equal_node_counts_get_distinct_labels(self):
+        from dataclasses import replace
+
+        base = paper_system_544()
+        clone = replace(base, name="N544-variant")  # same N, different system
+        study = icn2_bandwidth_study((base, clone), MSG, points=3)
+        labels = [c.label for c in study.curves]
+        assert len(set(labels)) == 4  # no silent collisions
+        assert any("N544-variant" in label for label in labels)
+        # saturation_gain resolves each system's own pair of curves.
+        gain = study.saturation_gain(
+            "N544-variant: N=544, base", "N544-variant: N=544, icn2 x1.2"
+        )
+        assert 1.1 < gain < 1.25
+
+    def test_saturation_gain_rejects_ambiguous_labels(self):
+        dup = WhatIfCurve("dup", np.array([1.0]), np.array([2.0]), saturation_load=1.0)
+        other = WhatIfCurve("other", np.array([1.0]), np.array([2.0]), saturation_load=2.0)
+        study = WhatIfStudy("t", (dup, dup, other))
+        with pytest.raises(ValueError, match="ambiguous"):
+            study.saturation_gain("dup", "other")
+
+    def test_saturation_gain_rejects_unknown_label(self):
+        other = WhatIfCurve("other", np.array([1.0]), np.array([2.0]), saturation_load=2.0)
+        study = WhatIfStudy("t", (other,))
+        with pytest.raises(KeyError):
+            study.saturation_gain("missing", "other")
 
 
 class TestTables:

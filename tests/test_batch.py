@@ -1,0 +1,356 @@
+"""Batched-engine tests (core.batch): scalar equivalence + closed-form saturation.
+
+The scalar :class:`AnalyticalModel` is the reference implementation; the
+batched engine must reproduce it to float64 round-off (the ISSUE's 1e-9
+contract) across systems, traffic patterns and option variants, and its
+per-resource saturation rates must agree with the full-model bisection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticalModel,
+    BatchedModel,
+    ClusterSpec,
+    MessageSpec,
+    ModelOptions,
+    SystemConfig,
+    find_saturation_load,
+    paper_system_544,
+    paper_system_1120,
+    switch_channel_time,
+    sweep_load,
+)
+from repro.workloads import HotspotTraffic, LocalityTraffic, UniformTraffic
+
+MSG = MessageSpec(32, 256.0)
+REL = 1e-9
+
+
+def assert_equivalent(model: AnalyticalModel, engine: BatchedModel, grid) -> None:
+    """Compare every field of the batched sweep against scalar evaluations."""
+    sweep = engine.evaluate_many(grid)
+    assert sweep.loads.shape == (len(grid),)
+    assert len(sweep.results) == len(grid)
+    for lam, batched in zip(grid, sweep.results):
+        scalar = model.evaluate(float(lam))
+        assert batched.load == scalar.load
+        assert batched.saturated == scalar.saturated
+        assert batched.saturated_resources == scalar.saturated_resources
+        if np.isfinite(scalar.latency):
+            assert batched.latency == pytest.approx(scalar.latency, rel=REL)
+        else:
+            assert batched.latency == scalar.latency
+        for b, s in zip(batched.clusters, scalar.clusters):
+            assert (b.name, b.tree_depth, b.nodes, b.count) == (s.name, s.tree_depth, s.nodes, s.count)
+            assert b.outgoing_probability == s.outgoing_probability
+            assert b.saturated == s.saturated
+            for field in ("mean", "inter_network", "concentrator_wait", "outward"):
+                _assert_close(getattr(b, field), getattr(s, field))
+            for field in ("source_wait", "network_latency", "tail_time", "total",
+                          "aggregate_rate", "channel_rate", "source_utilization"):
+                _assert_close(getattr(b.intra, field), getattr(s.intra, field))
+            assert b.intra.saturated == s.intra.saturated
+            assert len(b.inter_pairs) == len(s.inter_pairs)
+            for bp, sp in zip(b.inter_pairs, s.inter_pairs):
+                assert bp.saturated == sp.saturated
+                for field in ("source_wait", "network_latency", "tail_time", "total",
+                              "ecn1_rate", "icn2_rate", "ecn1_channel_rate",
+                              "icn2_channel_rate", "relaxing_factor", "source_utilization"):
+                    _assert_close(getattr(bp, field), getattr(sp, field))
+
+
+def _assert_close(a: float, b: float) -> None:
+    if np.isfinite(b):
+        assert a == pytest.approx(b, rel=REL, abs=1e-300)
+    else:
+        assert a == b or (np.isnan(a) and np.isnan(b))
+
+
+@pytest.fixture(scope="module")
+def hetero():
+    """Small heterogeneous system: fast enough for scalar reference loops."""
+    return SystemConfig(
+        switch_ports=4,
+        clusters=(
+            ClusterSpec(tree_depth=1, name="a0"),
+            ClusterSpec(tree_depth=1, name="a1"),
+            ClusterSpec(tree_depth=2, name="b"),
+            ClusterSpec(tree_depth=3, name="c"),
+        ),
+        name="tiny-hetero",
+    )
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("system_factory", [paper_system_1120, paper_system_544])
+    def test_uniform_traffic_paper_systems(self, system_factory):
+        """Latency, flags and breakdowns agree across the whole curve, from
+        zero load through points beyond saturation."""
+        system = system_factory()
+        model = AnalyticalModel(system, MSG)
+        engine = BatchedModel(system, MSG)
+        lam_star = engine.saturation_load()
+        grid = np.concatenate([[0.0], np.linspace(0.1 * lam_star, 1.15 * lam_star, 8)])
+        assert_equivalent(model, engine, grid)
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [UniformTraffic(), HotspotTraffic(3, 0.4), LocalityTraffic(0.7), LocalityTraffic(0.0)],
+        ids=["uniform", "hotspot", "locality-0.7", "locality-0"],
+    )
+    def test_nonuniform_patterns(self, hetero, pattern):
+        model = AnalyticalModel(hetero, MSG, pattern=pattern)
+        engine = BatchedModel(hetero, MSG, pattern=pattern)
+        lam_star = engine.saturation_load()
+        grid = np.linspace(0.0, 1.1 * lam_star, 7)
+        assert_equivalent(model, engine, grid)
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            ModelOptions(source_queue_rate="per_node"),
+            ModelOptions(source_queue_rate="aggregate_pair"),
+            ModelOptions(concentrator_rate="source_outgoing"),
+            ModelOptions(variance_approximation="exponential"),
+            ModelOptions(inter_average="traffic_weighted"),
+            ModelOptions(relaxing_factor=False, tcn_convention="full_network_latency"),
+        ],
+        ids=["per_node", "aggregate_pair", "source_outgoing", "exponential", "weighted", "no-relax"],
+    )
+    def test_option_variants(self, options):
+        system = paper_system_1120()
+        model = AnalyticalModel(system, MSG, options)
+        engine = BatchedModel(system, MSG, options)
+        lam_star = engine.saturation_load()
+        grid = np.linspace(0.0, 1.05 * lam_star, 6)
+        assert_equivalent(model, engine, grid)
+
+    def test_single_cluster_system(self):
+        single = SystemConfig(switch_ports=4, clusters=(ClusterSpec(tree_depth=3, name="solo"),), name="single")
+        model = AnalyticalModel(single, MSG)
+        engine = BatchedModel(single, MSG)
+        lam_star = engine.saturation_load()
+        assert_equivalent(model, engine, np.linspace(0.0, 1.1 * lam_star, 6))
+
+    def test_message_geometry_variants(self):
+        system = paper_system_1120()
+        for message in (MessageSpec(64, 256.0), MessageSpec(128, 512.0)):
+            model = AnalyticalModel(system, message)
+            engine = BatchedModel(system, message)
+            lam_star = engine.saturation_load()
+            assert_equivalent(model, engine, np.linspace(0.0, lam_star, 5))
+
+
+class TestEvaluateManyContract:
+    def test_rejects_negative_and_empty(self):
+        engine = BatchedModel(paper_system_1120(), MSG)
+        with pytest.raises(ValueError):
+            engine.evaluate_many([-1e-5])
+        with pytest.raises(ValueError):
+            engine.evaluate_many([])
+        with pytest.raises(ValueError):
+            engine.evaluate_many([float("nan")])
+        with pytest.raises(ValueError):
+            engine.resource_utilizations([-1e-5])
+
+    def test_with_results_false_skips_breakdowns(self):
+        engine = BatchedModel(paper_system_1120(), MSG)
+        grid = np.linspace(1e-5, 3e-4, 6)
+        full = engine.evaluate_many(grid)
+        lean = engine.evaluate_many(grid, with_results=False)
+        assert lean.results == ()
+        np.testing.assert_array_equal(full.latencies, lean.latencies)
+
+    def test_sweep_load_delegates_to_engine(self):
+        model = AnalyticalModel(paper_system_544(), MSG)
+        grid = [1e-5, 2e-4]
+        sweep = sweep_load(model, grid)
+        for lam, result in zip(grid, sweep.results):
+            assert result.latency == pytest.approx(model.evaluate(lam).latency, rel=REL)
+
+    def test_from_model_caches_engine(self):
+        model = AnalyticalModel(paper_system_544(), MSG)
+        engine = BatchedModel.from_model(model)
+        assert engine is BatchedModel.from_model(model)
+        # The engine wraps the caller's instance, not a rebuilt copy.
+        assert engine.reference_model is model
+
+    def test_from_model_rebuilds_after_attribute_reassignment(self):
+        """Regression: the cached engine used to survive model mutation and
+        silently answer for the old message geometry."""
+        model = AnalyticalModel(paper_system_544(), MSG)
+        stale = BatchedModel.from_model(model)
+        model.message = MessageSpec(64, 256.0)
+        fresh = BatchedModel.from_model(model)
+        assert fresh is not stale
+        scalar = model.evaluate(1e-4).latency
+        assert fresh.evaluate(1e-4).latency == pytest.approx(scalar, rel=REL)
+
+    def test_evaluate_single_point(self):
+        engine = BatchedModel(paper_system_544(), MSG)
+        scalar = AnalyticalModel(paper_system_544(), MSG).evaluate(2e-4)
+        assert engine.evaluate(2e-4).latency == pytest.approx(scalar.latency, rel=REL)
+
+
+class TestClosedFormSaturation:
+    TABLE_CASES = [
+        (paper_system_1120, 32, 256.0),
+        (paper_system_1120, 64, 512.0),
+        (paper_system_1120, 128, 256.0),
+        (paper_system_544, 32, 256.0),
+        (paper_system_544, 64, 256.0),
+        (paper_system_544, 128, 512.0),
+    ]
+
+    @pytest.mark.parametrize("system_factory,m_flits,d_m", TABLE_CASES)
+    def test_matches_bisection_on_table_systems(self, system_factory, m_flits, d_m):
+        """Acceptance: closed form within the bisection's rel_tol on every
+        Table 1 organisation × Table 2 message geometry."""
+        model = AnalyticalModel(system_factory(), MessageSpec(m_flits, d_m))
+        exact = find_saturation_load(model)  # default: closed form
+        bisected = find_saturation_load(model, method="bisection", rel_tol=1e-4)
+        assert exact == pytest.approx(bisected, rel=2e-4)
+        # The bisection overshoots by construction; the exact value may not.
+        assert exact <= bisected * (1 + 1e-12)
+
+    def test_exact_value_brackets_scalar_saturation(self):
+        for factory in (paper_system_1120, paper_system_544):
+            model = AnalyticalModel(factory(), MSG)
+            lam_star = BatchedModel.from_model(model).saturation_load()
+            assert not model.is_saturated(lam_star * 0.99999)
+            assert model.is_saturated(lam_star * 1.00001)
+
+    def test_concentrator_closed_form_is_exact(self):
+        """λ* = 1 / (max_i N_i U_i · M · t_cs^{I2}) — DESIGN.md §3 item 7,
+        now produced directly by saturation_loads()."""
+        system = paper_system_1120()
+        engine = BatchedModel(system, MSG)
+        sizes = system.cluster_sizes
+        max_nu = max(n * system.outgoing_probability(i) for i, n in enumerate(sizes))
+        predicted = 1.0 / (max_nu * MSG.length_flits * switch_channel_time(system.icn2, MSG.flit_bytes))
+        assert engine.saturation_load() == pytest.approx(predicted, rel=1e-12)
+        assert "concentrator" in engine.binding_resource()
+
+    def test_per_resource_map_structure(self):
+        engine = BatchedModel(paper_system_1120(), MSG)
+        loads = engine.saturation_loads()
+        classes = engine.cluster_classes
+        for src in classes:
+            assert f"{src.name}:icn1-source-queue" in loads
+            for dst in classes:
+                assert f"{src.name}->{dst.name}:concentrator" in loads
+        assert all(lam > 0 for lam in loads.values())
+        assert min(loads.values()) == engine.saturation_load()
+
+    def test_source_queue_binding_when_icn2_oversized(self, hetero):
+        """Scaling ICN2 way up moves the knee to a load-dependent-service
+        source queue — the non-closed-form inversion must still match the
+        full-model bisection."""
+        from repro.analysis import scale_network
+
+        fast_icn2 = scale_network(hetero, "icn2", 50.0)
+        model = AnalyticalModel(fast_icn2, MSG)
+        engine = BatchedModel.from_model(model)
+        assert "concentrator" not in engine.binding_resource()
+        exact = engine.saturation_load()
+        bisected = find_saturation_load(model, method="bisection", rel_tol=1e-6)
+        assert exact == pytest.approx(bisected, rel=1e-5)
+
+    def test_single_cluster_source_queue_inversion(self):
+        single = SystemConfig(switch_ports=4, clusters=(ClusterSpec(tree_depth=2, name="solo"),), name="single")
+        model = AnalyticalModel(single, MSG)
+        exact = find_saturation_load(model)
+        bisected = find_saturation_load(model, method="bisection", rel_tol=1e-6)
+        assert exact == pytest.approx(bisected, rel=1e-5)
+        assert not model.is_saturated(exact * 0.9999)
+        assert model.is_saturated(exact * 1.0001)
+
+    def test_zero_rate_queues_excluded(self, hetero):
+        """Queues that can never saturate (U_i = 1 ⇒ zero intra rate) are
+        left out of the map instead of reporting an infinite λ*."""
+        engine = BatchedModel(hetero, MSG, pattern=LocalityTraffic(0.0))
+        loads = engine.saturation_loads()
+        assert loads  # inter resources still present
+        assert all(np.isfinite(lam) for lam in loads.values())
+        assert not any(name.endswith("icn1-source-queue") for name in loads)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            find_saturation_load(AnalyticalModel(paper_system_544(), MSG), method="newton")
+
+
+class TestBottleneckEngineReuse:
+    def test_matching_engine_reused(self):
+        from repro.analysis import model_bottlenecks
+
+        system = paper_system_544()
+        engine = BatchedModel(system, MSG)
+        report = model_bottlenecks(system, MSG, 2e-4, engine=engine)
+        fresh = model_bottlenecks(system, MSG, 2e-4)
+        assert report.binding == fresh.binding
+        assert report.saturation_load == fresh.saturation_load
+
+    def test_mismatched_engine_rejected(self):
+        from repro.analysis import model_bottlenecks
+
+        engine = BatchedModel(paper_system_1120(), MSG)
+        with pytest.raises(ValueError, match="different system"):
+            model_bottlenecks(paper_system_544(), MSG, 2e-4, engine=engine)
+
+    def test_mismatched_options_rejected(self):
+        """Regression: an engine built with different ModelOptions used to be
+        accepted silently, reporting utilisations for the wrong convention."""
+        from repro.analysis import model_bottlenecks
+
+        system = paper_system_544()
+        engine = BatchedModel(system, MSG)  # default options
+        with pytest.raises(ValueError, match="different system/message/options"):
+            model_bottlenecks(
+                system, MSG, 2e-4,
+                options=ModelOptions(source_queue_rate="per_node"),
+                engine=engine,
+            )
+
+    def test_engine_options_adopted_when_unspecified(self):
+        """options=None with an engine adopts the engine's own options
+        instead of demanding a redundant re-pass."""
+        from repro.analysis import model_bottlenecks
+
+        system = paper_system_544()
+        opts = ModelOptions(concentrator_rate="source_outgoing")
+        engine = BatchedModel(system, MSG, opts)
+        report = model_bottlenecks(system, MSG, 2e-4, engine=engine)
+        fresh = model_bottlenecks(system, MSG, 2e-4, options=opts)
+        assert report.binding == fresh.binding
+
+
+class TestRefineMonotoneCrossing:
+    def test_converges_to_known_crossing(self):
+        from repro.core.batch import refine_monotone_crossing
+
+        lo, hi = refine_monotone_crossing(0.0, 1.0, lambda g: g >= 0.3, rel_tol=1e-10)
+        assert lo < 0.3 <= hi
+        assert hi - lo <= 1e-10 * hi
+
+    def test_terminates_when_crossing_sits_at_zero(self):
+        """Regression: a crossing at exactly lo == 0 used to spin forever
+        (hi - lo > rel_tol * hi never fails while lo == 0 and rel_tol * hi
+        underflows for denormal hi)."""
+        from repro.core.batch import refine_monotone_crossing
+
+        lo, hi = refine_monotone_crossing(0.0, 1.0, lambda g: g > 0, rel_tol=1e-4)
+        assert lo == 0.0
+        assert 0.0 < hi < 1e-60  # driven to (effectively) the crossing
+
+    def test_budget_exactly_at_zero_load_latency_terminates(self):
+        """End-to-end shape of the same hang: a budget equal to the
+        zero-load latency means every positive load busts it."""
+        from repro.analysis import max_load_for_latency
+
+        system = paper_system_544()
+        zero = AnalyticalModel(system, MSG).zero_load_latency()
+        plan = max_load_for_latency(system, MSG, zero)
+        assert plan.feasible
+        assert plan.achieved == pytest.approx(0.0, abs=1e-12)

@@ -81,6 +81,47 @@ class TestRequiredUpgrade:
         assert below < target
 
 
+class TestUpgradeKneeCaching:
+    """Regression: the detail f-strings used to re-run full saturation
+    searches (knee(hi), knee(max_factor)) for values already computed."""
+
+    @staticmethod
+    def _record_built_systems(monkeypatch):
+        import repro.analysis.capacity as capacity_mod
+
+        built: list[str] = []
+        real = capacity_mod.BatchedModel
+
+        class Recording(real):
+            def __init__(self, system, *args, **kwargs):
+                built.append(system.name)
+                super().__init__(system, *args, **kwargs)
+
+        monkeypatch.setattr(capacity_mod, "BatchedModel", Recording)
+        return built
+
+    def test_infeasible_path_builds_each_factor_once(self, paper_544, monkeypatch):
+        built = self._record_built_systems(monkeypatch)
+        base = find_saturation_load(AnalyticalModel(paper_544, MSG))
+        plan = required_upgrade_factor(paper_544, MSG, "icn1", 1.3 * base, max_factor=4.0)
+        assert not plan.feasible
+        # knee(1.0) and knee(max_factor) exactly once each; the detail string
+        # must reuse the cached max_factor knee instead of recomputing it.
+        assert len(built) == 2
+        assert len(built) == len(set(built))
+        assert "not the binding resource" in plan.detail
+
+    def test_feasible_path_reuses_cached_knee_in_detail(self, paper_544, monkeypatch):
+        built = self._record_built_systems(monkeypatch)
+        base = find_saturation_load(AnalyticalModel(paper_544, MSG))
+        plan = required_upgrade_factor(paper_544, MSG, "icn2", 1.3 * base)
+        assert plan.feasible
+        # The final detail reuses the cached knee(hi): no system variant is
+        # ever constructed twice across the bisection + report.
+        assert len(built) == len(set(built))
+        assert f"x{plan.achieved:.3f}" in plan.detail
+
+
 class TestHeadroom:
     def test_headroom_is_bottleneck_report(self, paper_544):
         report = headroom_report(paper_544, MSG, 2e-4)

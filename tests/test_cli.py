@@ -70,8 +70,10 @@ class TestSaturation:
     def test_reports_knee_and_binding(self, capsys):
         code, out, _ = run_cli(capsys, "saturation", "--system", "1120", "--flits", "32")
         assert code == 0
-        assert "5.18e-04" in out or "5.177e-04" in out or "5.1767e-04" in out
+        # Exact closed-form knee (the old bisection reported 5.1767e-04).
+        assert "5.1766e-04" in out
         assert "concentrator" in out
+        assert "per-resource saturation" in out
 
 
 class TestSweep:

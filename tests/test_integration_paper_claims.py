@@ -85,10 +85,10 @@ class TestFigure7Claims:
             MessageSpec(128, 256.0),
             points=8,
         )
-        for base_label in ("N=544, base", "N=1120, base"):
+        for base_label in ("N544-m4-C16: N=544, base", "N1120-m8-C32: N=1120, base"):
             variant_label = base_label.replace("base", "icn2 x1.2")
-            base = next(c for c in study.curves if c.label == base_label)
-            fast = next(c for c in study.curves if c.label == variant_label)
+            base = study.curve(base_label)
+            fast = study.curve(variant_label)
             gain = (base.latencies - fast.latencies) / base.latencies
             assert gain[-1] > gain[0] > 0
 
@@ -100,8 +100,9 @@ class TestFigure7Claims:
             MessageSpec(128, 256.0),
             points=8,
         )
-        by_label = {c.label: c for c in study.curves}
-        rise_544 = by_label["N=544, base"].latencies[-1] / by_label["N=544, base"].latencies[0]
-        rise_1120 = by_label["N=1120, base"].latencies[-1] / by_label["N=1120, base"].latencies[0]
+        base_544 = study.curve("N544-m4-C16: N=544, base")
+        base_1120 = study.curve("N1120-m8-C32: N=1120, base")
+        rise_544 = base_544.latencies[-1] / base_544.latencies[0]
+        rise_1120 = base_1120.latencies[-1] / base_1120.latencies[0]
         assert rise_1120 > 1.25 * rise_544
-        assert by_label["N=544, base"].latencies[-1] < by_label["N=1120, base"].latencies[-1]
+        assert base_544.latencies[-1] < base_1120.latencies[-1]

@@ -27,6 +27,20 @@ class TestToJsonable:
         payload = to_jsonable({"a": np.float64(1.5), "b": np.arange(3)})
         assert payload == {"a": 1.5, "b": [0, 1, 2]}
 
+    def test_numpy_bool_round_trips_as_bool(self):
+        """Regression: np.bool_ used to fall through to str() and come back
+        as the always-truthy string "True"/"False"."""
+        payload = to_jsonable({"t": np.bool_(True), "f": np.bool_(False)})
+        assert payload == {"t": True, "f": False}
+        assert isinstance(payload["t"], bool)
+        assert isinstance(payload["f"], bool)
+        assert not payload["f"]  # the old str(value) form was truthy
+
+    def test_numpy_non_finite_scalars_tagged(self):
+        payload = to_jsonable({"x": np.float64("inf"), "y": np.float64("nan")})
+        assert payload["x"] == {"__float__": "inf"}
+        assert payload["y"] == {"__float__": "nan"}
+
     def test_non_finite_floats_tagged(self):
         payload = to_jsonable({"x": float("inf"), "y": float("nan")})
         assert payload["x"] == {"__float__": "inf"}

@@ -39,6 +39,37 @@ class TestRequirePositive:
             require_positive(bad, "x")
 
 
+class TestRequireInt:
+    def test_accepts_python_int(self):
+        require_int(3, "x")
+        require_int(0, "x", minimum=0)
+
+    def test_accepts_numpy_integers(self):
+        """Regression: np.int64 grid indices used to be rejected."""
+        import numpy as np
+
+        require_int(np.int64(5), "x")
+        require_int(np.int32(2), "x", minimum=1)
+        require_int(np.arange(4)[2], "x")
+
+    @pytest.mark.parametrize("bad", [True, False, 1.0, "3", None])
+    def test_rejects_non_integers(self, bad):
+        with pytest.raises(ValueError):
+            require_int(bad, "x")
+
+    def test_rejects_numpy_bool(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            require_int(np.bool_(True), "x")
+
+    def test_minimum_enforced_for_numpy_values(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match=">= 2"):
+            require_int(np.int64(1), "x", minimum=2)
+
+
 class TestRequireNonnegative:
     def test_accepts_zero(self):
         require_nonnegative(0.0, "x")
