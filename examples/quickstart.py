@@ -1,63 +1,50 @@
 #!/usr/bin/env python
-"""Quickstart — evaluate the analytical model and validate it by simulation.
+"""Quickstart — the whole workflow of the paper through one `Experiment`.
 
-Builds the paper's N=544 system (Table 1), asks the analytical model for
-the mean message latency across a load range (the Fig. 5 curve), runs the
-discrete-event wormhole simulator at a few of those loads, and prints the
-comparison — the whole workflow of the paper in ~40 lines.
+Resolves the paper's N=544 scenario from the registry, asks the analytical
+model for the saturation point and a latency breakdown, sweeps the curve
+(the Fig. 5 column) and validates a few points against the discrete-event
+wormhole simulator — all off a single declarative ScenarioSpec.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AnalyticalModel, find_saturation_load, paper_message, paper_system_544
-from repro.analysis import render_series
-from repro.simulation import MeasurementWindow, SimulationSession
-
+from repro import Experiment, get_scenario
 
 def main() -> None:
-    system = paper_system_544()
-    message = paper_message(length_flits=32, flit_bytes=256.0)
+    # Any registered name works ("python -m repro scenarios" lists them);
+    # a ScenarioSpec loaded from JSON drops in the same way.
+    spec = get_scenario("544")
+    exp = Experiment(spec)
 
     # --- the paper's contribution: closed-form mean latency -------------
-    model = AnalyticalModel(system, message)
-    lam_star = find_saturation_load(model)
-    print(f"system: {system.name}, N={system.total_nodes}, C={system.num_clusters}")
-    print(f"zero-load latency : {model.zero_load_latency():.2f} time units")
-    print(f"saturation load   : λ* = {lam_star:.3e} messages/node/time-unit")
+    print(exp.describe().text)
+    print()
+    print(exp.saturation().text)
 
-    result = model.evaluate(0.4 * lam_star)
+    lam_star = exp.engine.saturation_load()
+    result = exp.evaluate(0.4 * lam_star)
     print("\nper-cluster-class breakdown at 40% of saturation:")
-    for cls in result.clusters:
-        print(
-            f"  {cls.count:2d}x {cls.nodes:3d}-node clusters: "
-            f"L_in={cls.intra.total:7.2f}  L_out={cls.outward:7.2f}  "
-            f"U={cls.outgoing_probability:.3f}  mean={cls.mean:7.2f}"
-        )
+    print(result.text)
+
+    # --- the model curve (a paper-figure column) ------------------------
+    sweep = exp.sweep()
+    print()
+    print(sweep.text)
 
     # --- validation: the discrete-event wormhole simulator --------------
-    session = SimulationSession(system, message)
-    window = MeasurementWindow.scaled_paper(10_000)
-    loads = [f * lam_star for f in (0.2, 0.4, 0.6)]
-    rows_model, rows_sim = [], []
-    for lam in loads:
-        rows_model.append(model.evaluate(lam).latency)
-        rows_sim.append(session.run(lam, seed=0, window=window).mean_latency)
-
+    validation = exp.validate(points=3, messages=10_000)
     print()
+    print(validation.text)
     print(
-        render_series(
-            "model vs simulation (paper §4 methodology)",
-            "lambda_g",
-            loads,
-            {"model": rows_model, "simulation": rows_sim},
-        )
-    )
-    light_err = abs(rows_model[0] - rows_sim[0]) / rows_sim[0]
-    print(f"\nlight-load relative error: {light_err:.1%} (paper reports ~4-8%)")
-    print(
-        "note: toward saturation the simulator outruns the model — the paper's\n"
+        "\nnote: toward saturation the simulator outruns the model — the paper's\n"
         "own §4 caveat; see EXPERIMENTS.md for the quantified divergence."
     )
+
+    # Every result shares one serialisable schema:
+    #   exp.sweep().to_dict()  ->  {"schema": "repro.experiment/1", ...}
+    # and the spec itself round-trips through JSON:
+    #   ScenarioSpec.from_json(spec.to_json()) == spec
 
 
 if __name__ == "__main__":

@@ -12,14 +12,19 @@ The package provides:
 * :mod:`repro.validation` — the paper's model-vs-simulation studies,
 * :mod:`repro.workloads` — uniform and non-uniform traffic patterns,
 * :mod:`repro.analysis` — bottleneck and what-if (Fig. 7) analyses,
+* :mod:`repro.scenarios` — declarative, JSON-round-trippable scenario
+  specs plus a registry of named configurations,
+* :mod:`repro.experiments` — the :class:`Experiment` facade running every
+  workflow off one scenario spec,
 * :mod:`repro.io` — result persistence and ASCII reporting.
 
 Quickstart::
 
-    from repro import AnalyticalModel, paper_system_1120, paper_message
+    from repro import Experiment
 
-    model = AnalyticalModel(paper_system_1120(), paper_message(32, 256))
-    print(model.evaluate(2e-4).latency)
+    exp = Experiment("1120")                 # any registered scenario
+    print(exp.saturation().text)             # λ* + binding resource
+    print(exp.sweep().data["columns"])       # figure-ready curve
 """
 
 from repro.core import (
@@ -40,10 +45,27 @@ from repro.core import (
     paper_system_1120,
     sweep_load,
 )
+from repro.experiments import Experiment, ExperimentResult
+from repro.scenarios import (
+    LoadGridPolicy,
+    ScenarioSpec,
+    get_scenario,
+    load_scenario,
+    register_scenario,
+    scenario_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ScenarioSpec",
+    "LoadGridPolicy",
+    "get_scenario",
+    "load_scenario",
+    "register_scenario",
+    "scenario_names",
     "AnalyticalModel",
     "BatchedModel",
     "ModelResult",

@@ -46,6 +46,27 @@ def require_int(value: int, name: str, *, minimum: int | None = None) -> None:
         raise ValueError(f"{name} must be >= {minimum}, got {value}")
 
 
+def reject_unknown_keys(
+    data: dict, allowed: "Iterable[str]", what: str, *, required: "Iterable[str]" = ()
+) -> None:
+    """Fail fast on typo'd or missing mapping keys instead of a bare KeyError.
+
+    Shared by every ``from_dict`` deserialiser so the error surface stays
+    uniform: *data* must be a mapping whose keys are a subset of *allowed*
+    and a superset of *required* — a hand-edited config with a missing
+    field then reports the section name, not a cryptic ``KeyError: 'x'``.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{what} must be a mapping, got {type(data).__name__}")
+    allowed = tuple(allowed)
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(f"unknown {what} key(s) {unknown}; allowed: {sorted(allowed)}")
+    missing = sorted(set(required) - set(data))
+    if missing:
+        raise ValueError(f"{what} missing required key(s) {missing}")
+
+
 def is_power_of(value: int, base: int) -> bool:
     """Return True if ``value == base**k`` for some integer ``k >= 0``."""
     if value < 1:

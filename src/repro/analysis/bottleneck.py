@@ -67,7 +67,9 @@ def model_bottlenecks(
     Pass an existing *engine* (built for the same system/message) to reuse
     its precompute and saturation cache instead of rebuilding them; leave
     *options* as ``None`` to adopt the engine's own options, or pass them
-    explicitly to have the match checked.
+    explicitly to have the match checked.  An engine carrying a non-uniform
+    traffic pattern is accepted — the report then ranks the pattern-aware
+    utilisations.
     """
     if engine is None:
         engine = BatchedModel(system, message, options)
@@ -75,8 +77,7 @@ def model_bottlenecks(
         require(
             engine.system == system
             and engine.message == message
-            and (options is None or engine.options == options)
-            and engine.pattern is None,
+            and (options is None or engine.options == options),
             "engine was built for a different system/message/options than the report requests",
         )
     entries = engine.resource_utilizations(np.array([load], dtype=np.float64))

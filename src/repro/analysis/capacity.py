@@ -49,6 +49,7 @@ def max_load_for_latency(
     *,
     options: ModelOptions | None = None,
     rel_tol: float = 1e-4,
+    engine: BatchedModel | None = None,
 ) -> CapacityPlan:
     """Largest λ_g with mean latency ≤ *latency_budget* (batched grid refinement).
 
@@ -57,10 +58,23 @@ def max_load_for_latency(
     rather than raised.  Each refinement round evaluates one vectorised
     load grid and narrows the bracket to the cell containing the budget
     crossing.
+
+    Pass an existing *engine* (built for the same system/message) to reuse
+    its precompute and saturation cache instead of rebuilding them — this
+    is also the only way to plan capacity under a non-uniform traffic
+    pattern, since the pattern lives on the engine.
     """
     require_positive(latency_budget, "latency_budget")
     require_positive(rel_tol, "rel_tol")
-    engine = BatchedModel(system, message, options)
+    if engine is None:
+        engine = BatchedModel(system, message, options)
+    else:
+        require(
+            engine.system == system
+            and engine.message == message
+            and (options is None or engine.options == options),
+            "engine was built for a different system/message/options than the plan requests",
+        )
     zero = engine.zero_load_latency()
     if latency_budget < zero:
         return CapacityPlan(

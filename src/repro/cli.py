@@ -1,48 +1,63 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Subcommands mirror the library's main workflows:
+Every workflow subcommand is driven by a declarative scenario
+(:class:`repro.scenarios.ScenarioSpec`) resolved from, in order of
+precedence:
 
-``describe``
-    structural summary of a paper system (Table 1 view).
-``latency``
-    evaluate the analytical model at one load (with breakdown).
-``saturation``
-    report the saturation load λ* and the binding resource.
-``sweep``
-    print a model latency curve up to the knee (a paper-figure column).
-``simulate``
-    run the discrete-event simulator at one load.
-``validate``
-    model-vs-simulation comparison across a load grid (a full figure).
-``capacity``
-    max sustainable load under a latency budget.
-``report``
-    regenerate the paper's full evaluation section (Tables 1-2, Figs. 3-7,
-    accuracy and bottleneck claims) in one document.
+``--config <file.json>``
+    a spec file written by ``export-config`` (``-`` reads stdin),
+``--scenario <name>``
+    a registered scenario (``python -m repro scenarios`` lists them),
+``--system <name>``
+    kept as an alias of ``--scenario`` (the historical ``1120``/``544``
+    flags still work).
 
-Every command accepts ``--system {1120,544}`` plus message geometry flags;
-outputs are the same text tables the benchmark harness emits.
+On top of the resolved scenario, ``--flits``/``--flit-bytes`` override the
+message geometry, ``--option KEY=VALUE`` flips
+:class:`~repro.core.parameters.ModelOptions` readings, and
+``--pattern NAME[:k=v,...]`` swaps the traffic pattern (``--pattern none``
+restores uniform traffic).
+
+Subcommands mirror the :class:`repro.experiments.Experiment` facade:
+
+``describe``      structural summary of the scenario (Table 1 view).
+``latency``       evaluate the analytical model at one load (with breakdown).
+``saturation``    saturation load λ* and the binding resource.
+``sweep``         model latency curve up to the knee (a paper-figure column).
+``simulate``      run the discrete-event simulator at one load.
+``validate``      model-vs-simulation comparison across a load grid.
+``capacity``      max sustainable load under a latency budget.
+``whatif``        base-vs-rescaled-network latency curves (Fig. 7 family).
+``report``        regenerate the paper's full evaluation section.
+``scenarios``     list registered scenarios, or show one as JSON.
+``export-config`` print/save the resolved scenario as a JSON config file.
+
+``sweep``, ``validate`` and ``capacity`` accept ``--out <path>`` to persist
+the result as JSON or CSV (by extension) via :mod:`repro.io.results`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
+from pathlib import Path
 
-from repro.analysis import model_bottlenecks, render_series, render_table
-from repro.analysis.capacity import max_load_for_latency
-from repro.core import (
-    AnalyticalModel,
-    BatchedModel,
-    MessageSpec,
-    paper_system_544,
-    paper_system_1120,
+from repro._util import require
+from repro.analysis import render_table
+from repro.core import MessageSpec, ModelOptions
+from repro.experiments import Experiment, ExperimentResult
+from repro.io.results import save_curve_csv, save_json
+from repro.scenarios import (
+    LoadGridPolicy,
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    scenario_names,
 )
-from repro.core.sweep import auto_load_grid, sweep_load
+from repro.workloads import make_pattern
 
-__all__ = ["main", "build_parser"]
-
-_SYSTEMS = {"1120": paper_system_1120, "544": paper_system_544}
+__all__ = ["main", "build_parser", "resolve_spec"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,11 +70,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--system", choices=sorted(_SYSTEMS), default="1120", help="paper Table 1 organisation")
-        p.add_argument("--flits", type=int, default=32, help="message length M in flits")
-        p.add_argument("--flit-bytes", type=float, default=256.0, help="flit size d_m in bytes")
+        p.add_argument("--scenario", help="registered scenario name (see `repro scenarios`)")
+        p.add_argument("--config", help="ScenarioSpec JSON file ('-' reads stdin)")
+        p.add_argument(
+            "--system",
+            choices=sorted(scenario_names()),
+            help="alias of --scenario (historical 1120/544 flags)",
+        )
+        p.add_argument("--flits", type=int, default=None, help="override message length M in flits")
+        p.add_argument("--flit-bytes", type=float, default=None, help="override flit size d_m in bytes")
+        p.add_argument(
+            "--option",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help=f"override a ModelOptions field ({', '.join(ModelOptions.field_names())})",
+        )
+        p.add_argument(
+            "--pattern",
+            default=None,
+            metavar="NAME[:k=v,...]",
+            help="override the traffic pattern (e.g. 'hotspot:hot_cluster=3,hot_fraction=0.2'; "
+            "'none' restores uniform)",
+        )
 
-    p = sub.add_parser("describe", help="structural summary of the system")
+    def out_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--out", default=None, help="persist the result (.json or .csv by extension)")
+
+    p = sub.add_parser("describe", help="structural summary of the scenario")
     common(p)
 
     p = sub.add_parser("latency", help="model latency at one load")
@@ -71,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="model latency curve up to the knee")
     common(p)
-    p.add_argument("--points", type=int, default=10)
+    p.add_argument("--points", type=int, default=None, help="override the scenario's grid points")
+    out_flag(p)
 
     p = sub.add_parser("simulate", help="discrete-event simulation at one load")
     common(p)
@@ -82,118 +121,202 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="model vs simulation across a load grid")
     common(p)
-    p.add_argument("--points", type=int, default=5)
+    p.add_argument(
+        "--points", type=int, default=None, help="override the scenario's grid points"
+    )
     p.add_argument("--messages", type=int, default=10_000)
     p.add_argument("--seed", type=int, default=0)
+    out_flag(p)
 
     p = sub.add_parser("capacity", help="max load within a latency budget")
     common(p)
-    p.add_argument("--budget", type=float, required=True, help="mean-latency budget (time units)")
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="mean-latency budget (time units); defaults to the scenario's latency_budget",
+    )
+    out_flag(p)
+
+    p = sub.add_parser("whatif", help="base vs rescaled-network latency curves (Fig. 7 family)")
+    common(p)
+    p.add_argument("--role", choices=["icn1", "ecn1", "icn2"], default="icn2")
+    p.add_argument("--factor", type=float, default=1.2, help="bandwidth scaling factor")
+    out_flag(p)
 
     p = sub.add_parser("report", help="regenerate the paper's full evaluation section")
     p.add_argument("--messages", type=int, default=10_000, help="measured messages per sim point")
     p.add_argument("--points", type=int, default=6, help="loads per curve")
     p.add_argument("--model-only", action="store_true", help="skip simulations (seconds instead of minutes)")
+
+    p = sub.add_parser("scenarios", help="list registered scenarios (or show one as JSON)")
+    p.add_argument("name", nargs="?", default=None, help="show this scenario's full spec as JSON")
+
+    p = sub.add_parser("export-config", help="print/save the resolved scenario as JSON")
+    common(p)
+    out_flag(p)
     return parser
 
 
-def _setup(args) -> tuple:
-    system = _SYSTEMS[args.system]()
-    message = MessageSpec(args.flits, args.flit_bytes)
-    return system, message
+# ---------------------------------------------------------------------------
+# scenario resolution (selection flags -> ScenarioSpec)
+# ---------------------------------------------------------------------------
+
+
+def _coerce_scalar(text: str):
+    """CLI value coercion: int, then float, then verbatim string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_pattern(text: str):
+    """``NAME[:k=v,...]`` -> a registered pattern instance."""
+    name, _, params_text = text.partition(":")
+    params = {}
+    if params_text:
+        for item in params_text.split(","):
+            require("=" in item, f"--pattern parameters expect k=v, got {item!r}")
+            key, _, value = item.partition("=")
+            params[key.strip()] = _coerce_scalar(value.strip())
+    return make_pattern(name.strip(), **params)
+
+
+def _parse_options(base: ModelOptions, entries: "list[str]") -> ModelOptions:
+    """Apply ``--option KEY=VALUE`` overrides onto *base*."""
+    valid = ModelOptions.field_names()
+    updates: dict = {}
+    for entry in entries:
+        require("=" in entry, f"--option expects KEY=VALUE, got {entry!r}")
+        key, _, value = entry.partition("=")
+        key = key.strip()
+        require(key in valid, f"unknown model option {key!r}; valid: {', '.join(valid)}")
+        value = value.strip()
+        if key == "relaxing_factor":
+            lowered = value.lower()
+            require(lowered in ("true", "false"), f"relaxing_factor must be true/false, got {value!r}")
+            updates[key] = lowered == "true"
+        else:
+            updates[key] = value
+    return replace(base, **updates) if updates else base
+
+
+def resolve_spec(args) -> ScenarioSpec:
+    """Resolve the selection/override flags of one subcommand to a spec."""
+    selectors = [
+        f"--{flag}" for flag in ("config", "scenario", "system") if getattr(args, flag, None)
+    ]
+    require(
+        len(selectors) <= 1,
+        f"conflicting scenario selectors {' and '.join(selectors)}: pass at most one of "
+        "--config, --scenario, --system",
+    )
+    if getattr(args, "config", None):
+        if args.config == "-":
+            spec = ScenarioSpec.from_json(sys.stdin.read())
+        else:
+            spec = ScenarioSpec.load(args.config)
+    elif getattr(args, "scenario", None):
+        spec = get_scenario(args.scenario)
+    else:
+        spec = get_scenario(getattr(args, "system", None) or "1120")
+
+    if args.flits is not None or args.flit_bytes is not None:
+        message = MessageSpec(
+            args.flits if args.flits is not None else spec.message.length_flits,
+            args.flit_bytes if args.flit_bytes is not None else spec.message.flit_bytes,
+        )
+        spec = spec.with_overrides(message=message)
+    if args.option:
+        spec = spec.with_overrides(options=_parse_options(spec.options, args.option))
+    if args.pattern is not None:
+        if args.pattern.strip().lower() == "none":
+            spec = spec.with_overrides(clear_pattern=True)
+        else:
+            spec = spec.with_overrides(pattern=_parse_pattern(args.pattern))
+    if getattr(args, "points", None) is not None and args.command in ("sweep", "validate"):
+        spec = replace(spec, load_grid=replace(spec.load_grid, points=args.points))
+    return spec
+
+
+def _check_out_extension(out: "str | None", allowed: tuple) -> None:
+    """Reject a bad --out extension *before* any expensive work runs."""
+    if out:
+        require(
+            Path(out).suffix.lower() in allowed,
+            f"--out requires a {' or '.join(allowed)} extension, got {out!r}",
+        )
+
+
+def _persist(result: ExperimentResult, out: "str | None") -> str:
+    """Write *result* to *out* (.json or .csv); returns a trailer line."""
+    if not out:
+        return ""
+    suffix = Path(out).suffix.lower()
+    if suffix == ".json":
+        save_json(out, result.to_dict())
+    else:
+        save_curve_csv(out, result.columns())
+    return f"\nwrote {out}"
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def _experiment(args) -> Experiment:
+    return Experiment(resolve_spec(args))
 
 
 def _cmd_describe(args) -> str:
-    system, message = _setup(args)
-    model = AnalyticalModel(system, message)
-    rows = [
-        [c.name, c.count, c.tree_depth, c.nodes, f"{c.u:.4f}"]
-        for c in model.cluster_classes
-    ]
-    head = (
-        f"{system.name}: N={system.total_nodes}, C={system.num_clusters}, "
-        f"m={system.switch_ports}, n_c={system.icn2_tree_depth}\n"
-    )
-    return head + render_table(["class", "count", "n_i", "N_i", "U_i (Eq.2)"], rows)
+    return _experiment(args).describe().text
 
 
 def _cmd_latency(args) -> str:
-    system, message = _setup(args)
-    result = AnalyticalModel(system, message).evaluate(args.load)
-    if result.saturated:
-        return f"SATURATED at λ_g={args.load:g}: {', '.join(sorted(set(result.saturated_resources))[:4])}"
-    rows = [
-        [c.name, c.intra.total, c.inter_network, c.concentrator_wait, c.mean]
-        for c in result.clusters
-    ]
-    table = render_table(["class", "L_in", "L_ex", "W_d", "mean (Eq.1)"], rows)
-    return f"mean message latency (Eq.3): {result.latency:.3f}\n\n{table}"
+    return _experiment(args).evaluate(args.load).text
 
 
 def _cmd_saturation(args) -> str:
-    system, message = _setup(args)
-    engine = BatchedModel(system, message)
-    lam_star = engine.saturation_load()
-    report = model_bottlenecks(system, message, 0.9 * lam_star, engine=engine)
-    per_resource = sorted(engine.saturation_loads().items(), key=lambda kv: kv[1])
-    rows = [[name, f"{lam:.4e}"] for name, lam in per_resource[:5]]
-    table = render_table(["resource", "λ* (ρ=1)"], rows, title="tightest per-resource saturation rates")
-    return (
-        f"saturation load λ* = {lam_star:.4e} messages/node/time-unit\n"
-        f"binding resource   = {report.binding.resource} ({report.binding.kind}, "
-        f"ρ={report.binding.utilization:.3f} at 0.9 λ*)\n\n{table}"
-    )
+    return _experiment(args).saturation().text
 
 
 def _cmd_sweep(args) -> str:
-    system, message = _setup(args)
-    engine = BatchedModel(system, message)
-    grid = auto_load_grid(engine, points=args.points)
-    sweep = sweep_load(engine, grid, with_results=False)
-    return render_series(
-        f"model latency, {system.name}, M={message.length_flits}, d_m={message.flit_bytes:g}",
-        "lambda_g",
-        list(sweep.loads),
-        {"latency": list(sweep.latencies)},
-    )
+    result = _experiment(args).sweep()
+    return result.text + _persist(result, args.out)
 
 
 def _cmd_simulate(args) -> str:
-    from repro.simulation import MeasurementWindow, SimulationSession
-
-    system, message = _setup(args)
-    session = SimulationSession(system, message)
-    result = session.run(
-        args.load,
-        seed=args.seed,
-        window=MeasurementWindow.scaled_paper(args.messages),
-        granularity=args.granularity,
-    )
-    util = ", ".join(f"{k}={v:.3f}" for k, v in sorted(result.network_utilization.items()))
     return (
-        f"simulated mean latency: {result.mean_latency:.3f} "
-        f"(p95={result.stats.p95:.2f}, n={result.stats.count}, "
-        f"intra={result.stats.mean_intra:.2f}, inter={result.stats.mean_inter:.2f})\n"
-        f"events={result.events}, wall={result.wall_seconds:.2f}s, completed={result.completed}\n"
-        f"utilization: {util}"
+        _experiment(args)
+        .simulate(args.load, messages=args.messages, seed=args.seed, granularity=args.granularity)
+        .text
     )
 
 
 def _cmd_validate(args) -> str:
-    from repro.io import format_validation_curve
-    from repro.simulation import MeasurementWindow
-    from repro.validation import default_load_grid, run_validation
+    # --points is already folded into the spec's grid policy by resolve_spec.
+    # Without --points and without a scenario-customised grid, drop to 5
+    # points: validate runs one discrete-event simulation per point, and the
+    # sweep-oriented 12-point default would silently 2.4x the runtime.
+    spec = resolve_spec(args)
+    if args.points is None and spec.load_grid == LoadGridPolicy():
+        spec = replace(spec, load_grid=replace(spec.load_grid, points=5))
+    result = Experiment(spec).validate(messages=args.messages, seed=args.seed)
+    return result.text + _persist(result, args.out)
 
-    system, message = _setup(args)
-    grid = default_load_grid(system, message, points=args.points)
-    curve = run_validation(
-        system,
-        message,
-        grid,
-        seed=args.seed,
-        window=MeasurementWindow.scaled_paper(args.messages),
-    )
-    return format_validation_curve(curve)
+
+def _cmd_capacity(args) -> str:
+    result = _experiment(args).capacity(args.budget)
+    return result.text + _persist(result, args.out)
+
+
+def _cmd_whatif(args) -> str:
+    result = _experiment(args).whatif(role=args.role, factor=args.factor)
+    return result.text + _persist(result, args.out)
 
 
 def _cmd_report(args) -> str:
@@ -207,11 +330,33 @@ def _cmd_report(args) -> str:
     return report.text
 
 
-def _cmd_capacity(args) -> str:
-    system, message = _setup(args)
-    plan = max_load_for_latency(system, message, args.budget)
-    status = "feasible" if plan.feasible else "INFEASIBLE"
-    return f"{status}: λ_max = {plan.achieved:.4e}\n{plan.detail}"
+def _cmd_scenarios(args) -> str:
+    if args.name:
+        return get_scenario(args.name).to_json().rstrip("\n")
+    rows = []
+    for name, spec in iter_scenarios():
+        system = spec.system
+        pattern = spec.pattern.pattern_name if spec.pattern is not None else "uniform"
+        rows.append(
+            [
+                name,
+                system.total_nodes,
+                system.num_clusters,
+                system.switch_ports,
+                f"{spec.message.length_flits}x{spec.message.flit_bytes:g}B",
+                pattern,
+                spec.description,
+            ]
+        )
+    return render_table(["scenario", "N", "C", "m", "message", "pattern", "description"], rows)
+
+
+def _cmd_export_config(args) -> str:
+    spec = resolve_spec(args)
+    if args.out:
+        spec.save(args.out)
+        return f"wrote {args.out}"
+    return spec.to_json().rstrip("\n")
 
 
 _COMMANDS = {
@@ -222,17 +367,33 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "validate": _cmd_validate,
     "capacity": _cmd_capacity,
+    "whatif": _cmd_whatif,
     "report": _cmd_report,
+    "scenarios": _cmd_scenarios,
+    "export-config": _cmd_export_config,
 }
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code.
+
+    Configuration mistakes — invalid values (``ValueError``), unknown
+    scenario/resource names (``KeyError``) and unreadable config files
+    (``OSError``) — print one clean ``error:`` line and exit 2 instead of
+    escaping as tracebacks.
+    """
     args = build_parser().parse_args(argv)
     try:
+        _check_out_extension(
+            getattr(args, "out", None),
+            (".json",) if args.command == "export-config" else (".json", ".csv"),
+        )
         print(_COMMANDS[args.command](args))
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except BrokenPipeError:  # downstream pager/head closed stdout: not an error
+        return 0
+    except (ValueError, KeyError, OSError) as exc:
+        detail = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {detail}", file=sys.stderr)
         return 2
     return 0
 

@@ -20,9 +20,15 @@ bandwidth 500 B/µs the time-unit is 1 µs).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
-from repro._util import integer_log, require, require_int, require_positive
+from repro._util import (
+    integer_log,
+    reject_unknown_keys as _reject_unknown_keys,
+    require,
+    require_int,
+    require_positive,
+)
 
 __all__ = [
     "NetworkCharacteristics",
@@ -86,6 +92,31 @@ class NetworkCharacteristics:
         require_positive(factor, "factor")
         return replace(self, bandwidth=self.bandwidth * factor, name=name or f"{self.name}x{factor:g}")
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
+        return {
+            "bandwidth": self.bandwidth,
+            "network_latency": self.network_latency,
+            "switch_latency": self.switch_latency,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkCharacteristics":
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        _reject_unknown_keys(
+            data,
+            ("bandwidth", "network_latency", "switch_latency", "name"),
+            "network",
+            required=("bandwidth", "network_latency", "switch_latency"),
+        )
+        return cls(
+            bandwidth=data["bandwidth"],
+            network_latency=data["network_latency"],
+            switch_latency=data["switch_latency"],
+            name=data.get("name", "net"),
+        )
+
 
 #: Paper Table 2, "Net.1" (used for all ICN1 networks and for ICN2).
 NET1 = NetworkCharacteristics(bandwidth=500.0, network_latency=0.01, switch_latency=0.02, name="Net.1")
@@ -134,6 +165,33 @@ class ClusterSpec:
         """
         return (self.tree_depth, self.icn1, self.ecn1)
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
+        return {
+            "tree_depth": self.tree_depth,
+            "icn1": self.icn1.to_dict(),
+            "ecn1": self.ecn1.to_dict(),
+            "compute_power": self.compute_power,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSpec":
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        _reject_unknown_keys(
+            data,
+            ("tree_depth", "icn1", "ecn1", "compute_power", "name"),
+            "cluster",
+            required=("tree_depth",),
+        )
+        return cls(
+            tree_depth=data["tree_depth"],
+            icn1=NetworkCharacteristics.from_dict(data["icn1"]) if "icn1" in data else NET1,
+            ecn1=NetworkCharacteristics.from_dict(data["ecn1"]) if "ecn1" in data else NET2,
+            compute_power=data.get("compute_power", 1.0),
+            name=data.get("name", ""),
+        )
+
 
 @dataclass(frozen=True)
 class MessageSpec:
@@ -158,6 +216,18 @@ class MessageSpec:
     def total_bytes(self) -> float:
         """Message payload in bytes (``M * d_m``)."""
         return self.length_flits * self.flit_bytes
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
+        return {"length_flits": self.length_flits, "flit_bytes": self.flit_bytes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MessageSpec":
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        _reject_unknown_keys(
+            data, ("length_flits", "flit_bytes"), "message", required=("length_flits", "flit_bytes")
+        )
+        return cls(length_flits=data["length_flits"], flit_bytes=data["flit_bytes"])
 
 
 def paper_message(length_flits: int = 32, flit_bytes: float = 256.0) -> MessageSpec:
@@ -220,6 +290,25 @@ class ModelOptions:
         require(self.inter_average in self._AVG, f"inter_average must be one of {self._AVG}, got {self.inter_average!r}")
         require(self.concentrator_rate in self._CON, f"concentrator_rate must be one of {self._CON}, got {self.concentrator_rate!r}")
         require(isinstance(self.relaxing_factor, bool), "relaxing_factor must be a bool")
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """The option names accepted by :meth:`from_dict` (and the CLI)."""
+        return tuple(f.name for f in fields(cls))
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
+        return {name: getattr(self, name) for name in self.field_names()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelOptions":
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected).
+
+        Partial mappings are accepted — absent options keep their defaults —
+        so config files only need to name the readings they change.
+        """
+        _reject_unknown_keys(data, cls.field_names(), "model option")
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -351,6 +440,33 @@ class SystemConfig:
     def with_icn2(self, icn2: NetworkCharacteristics, *, name: str | None = None) -> "SystemConfig":
         """Copy of this system with a different ICN2 (Fig. 7 what-if)."""
         return replace(self, icn2=icn2, name=name or self.name)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
+        return {
+            "switch_ports": self.switch_ports,
+            "clusters": [c.to_dict() for c in self.clusters],
+            "icn2": self.icn2.to_dict(),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        _reject_unknown_keys(
+            data,
+            ("switch_ports", "clusters", "icn2", "name"),
+            "system",
+            required=("switch_ports", "clusters"),
+        )
+        clusters = data["clusters"]
+        require(isinstance(clusters, (list, tuple)), "system 'clusters' must be a list")
+        return cls(
+            switch_ports=data["switch_ports"],
+            clusters=tuple(ClusterSpec.from_dict(c) for c in clusters),
+            icn2=NetworkCharacteristics.from_dict(data["icn2"]) if "icn2" in data else NET1,
+            name=data.get("name", "system"),
+        )
 
 
 def _is_tree_population(count: int, q: int) -> bool:

@@ -1,0 +1,16 @@
+"""The ``Experiment`` facade: every workflow behind one scenario spec.
+
+Quickstart::
+
+    from repro.experiments import Experiment
+
+    exp = Experiment("544")           # registered scenario name ...
+    exp = Experiment(my_spec)         # ... or any ScenarioSpec
+    print(exp.saturation().text)      # λ* and the binding resource
+    curve = exp.sweep()               # uniform ExperimentResult
+    curve.to_dict()                   # stable JSON schema
+"""
+
+from repro.experiments.experiment import EXPERIMENT_SCHEMA, Experiment, ExperimentResult
+
+__all__ = ["Experiment", "ExperimentResult", "EXPERIMENT_SCHEMA"]

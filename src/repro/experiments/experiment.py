@@ -1,0 +1,484 @@
+"""One facade over every workflow: ``Experiment(spec)``.
+
+Before this module, each analysis entry point took a different ad-hoc
+signature (``sweep_load(engine, grid)``, ``max_load_for_latency(system,
+message, budget)``, ``run_validation(system, message, grid, ...)``, …).
+:class:`Experiment` consumes one declarative
+:class:`~repro.scenarios.ScenarioSpec` and exposes each workflow as a
+method; all methods share a single cached
+:class:`~repro.core.batch.BatchedModel` (one load-independent precompute
+per experiment) and return a uniform :class:`ExperimentResult` that
+serialises through :func:`repro.io.results.to_jsonable` with a stable
+schema.
+
+The numeric outputs are *identical* to the direct calls — ``.sweep()`` is
+``sweep_load`` on the spec's grid, ``.capacity()`` is
+``max_load_for_latency``, ``.bottlenecks()`` is ``model_bottlenecks`` —
+because each method delegates to those functions with the shared engine
+(locked by ``tests/test_experiment.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro._util import require, require_positive
+from repro.analysis.bottleneck import model_bottlenecks
+from repro.analysis.capacity import max_load_for_latency
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.whatif import curve_label, scale_network
+from repro.core.batch import BatchedModel
+from repro.core.model import AnalyticalModel
+from repro.core.sweep import sweep_load
+from repro.io.results import to_jsonable
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["Experiment", "ExperimentResult", "EXPERIMENT_SCHEMA"]
+
+#: Schema tag written into every serialised result (bump on breaking change).
+EXPERIMENT_SCHEMA = "repro.experiment/1"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Uniform return value of every :class:`Experiment` workflow.
+
+    kind:
+        which workflow produced it (``"sweep"``, ``"saturation"``, …).
+    scenario:
+        the spec's name.
+    spec:
+        the full serialised :class:`~repro.scenarios.ScenarioSpec`, so a
+        saved result is self-describing and reproducible.
+    data:
+        workflow-specific payload.  Curve-shaped results put their
+        equal-length columns under ``data["columns"]`` (that is what CSV
+        export writes); scalar results use plain keys.
+    text:
+        the human-readable rendering the CLI prints.
+    """
+
+    kind: str
+    scenario: str
+    spec: dict
+    data: dict
+    text: str
+    schema: str = EXPERIMENT_SCHEMA
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict with the stable result schema."""
+        return to_jsonable(self)
+
+    def columns(self) -> dict:
+        """The result's tabular columns (for CSV export).
+
+        Raises ``ValueError`` for result kinds with no tabular view.
+        """
+        columns = self.data.get("columns")
+        require(
+            isinstance(columns, dict) and len(columns) > 0,
+            f"result kind {self.kind!r} has no tabular columns to export as CSV",
+        )
+        return columns
+
+
+class Experiment:
+    """All of the library's workflows, driven by one scenario spec.
+
+    Accepts a :class:`~repro.scenarios.ScenarioSpec` or a registered
+    scenario name.  The batched engine, its load grid and the simulation
+    session are built lazily and cached, so e.g. ``.sweep()`` followed by
+    ``.bottlenecks()`` pays the load-independent precompute once.
+    """
+
+    def __init__(self, spec: "ScenarioSpec | str") -> None:
+        if isinstance(spec, str):
+            spec = get_scenario(spec)
+        require(isinstance(spec, ScenarioSpec), "spec must be a ScenarioSpec or a scenario name")
+        self.spec = spec
+        # Serialise once, up front: every result embeds the spec, so an
+        # unserialisable spec (unregistered pattern) must fail here — before
+        # any workflow burns compute — not after the first sweep finishes.
+        self._spec_dict = spec.to_dict()
+        self._engine: BatchedModel | None = None
+        self._grid: np.ndarray | None = None
+        self._session = None
+
+    # -- shared machinery ------------------------------------------------------
+
+    @property
+    def engine(self) -> BatchedModel:
+        """The experiment's cached batched engine (one precompute)."""
+        if self._engine is None:
+            s = self.spec
+            self._engine = BatchedModel(s.system, s.message, s.options, s.pattern)
+        return self._engine
+
+    @property
+    def model(self) -> AnalyticalModel:
+        """The scalar reference model behind :attr:`engine`."""
+        return self.engine.reference_model
+
+    def load_grid(self) -> np.ndarray:
+        """The spec's load grid, materialised once per experiment."""
+        if self._grid is None:
+            self._grid = self.spec.load_grid.grid(self.engine)
+        return self._grid
+
+    def session(self):
+        """Cached :class:`~repro.simulation.runner.SimulationSession`."""
+        if self._session is None:
+            from repro.simulation.runner import SimulationSession
+
+            s = self.spec
+            self._session = SimulationSession(s.system, s.message, options=s.options)
+        return self._session
+
+    def _result(self, kind: str, data: dict, text: str) -> ExperimentResult:
+        return ExperimentResult(
+            kind=kind,
+            scenario=self.spec.name,
+            spec=self._spec_dict,
+            data=data,
+            text=text,
+        )
+
+    # -- workflows -------------------------------------------------------------
+
+    def describe(self) -> ExperimentResult:
+        """Structural summary of the scenario (the Table 1 view)."""
+        s = self.spec
+        system = s.system
+        classes = [
+            {
+                "name": c.name,
+                "count": c.count,
+                "tree_depth": c.tree_depth,
+                "nodes": c.nodes,
+                "outgoing_probability": c.u,
+            }
+            for c in self.engine.cluster_classes
+        ]
+        rows = [
+            [c["name"], c["count"], c["tree_depth"], c["nodes"], f"{c['outgoing_probability']:.4f}"]
+            for c in classes
+        ]
+        head = (
+            f"{s.name}: {system.name}, N={system.total_nodes}, C={system.num_clusters}, "
+            f"m={system.switch_ports}, n_c={system.icn2_tree_depth}\n"
+        )
+        if s.pattern is not None:
+            head += f"traffic pattern: {s.pattern!r}\n"
+        text = head + render_table(["class", "count", "n_i", "N_i", "U_i (Eq.2)"], rows)
+        data = {
+            "system_name": system.name,
+            "total_nodes": system.total_nodes,
+            "num_clusters": system.num_clusters,
+            "switch_ports": system.switch_ports,
+            "icn2_tree_depth": system.icn2_tree_depth,
+            "classes": classes,
+        }
+        return self._result("describe", data, text)
+
+    def evaluate(self, load: float) -> ExperimentResult:
+        """Model latency (with per-class breakdown) at one load."""
+        result = self.engine.evaluate(load)
+        if result.saturated:
+            resources = sorted(set(result.saturated_resources))
+            text = f"SATURATED at λ_g={load:g}: {', '.join(resources[:4])}"
+        else:
+            rows = [
+                [c.name, c.intra.total, c.inter_network, c.concentrator_wait, c.mean]
+                for c in result.clusters
+            ]
+            table = render_table(["class", "L_in", "L_ex", "W_d", "mean (Eq.1)"], rows)
+            text = f"mean message latency (Eq.3): {result.latency:.3f}\n\n{table}"
+        data = {
+            "load": load,
+            "latency": result.latency,
+            "saturated": result.saturated,
+            "saturated_resources": sorted(set(result.saturated_resources)),
+            "clusters": [
+                {
+                    "name": c.name,
+                    "intra": c.intra.total,
+                    "inter_network": c.inter_network,
+                    "concentrator_wait": c.concentrator_wait,
+                    "mean": c.mean,
+                }
+                for c in result.clusters
+            ],
+        }
+        return self._result("latency", data, text)
+
+    def sweep(self, loads: "np.ndarray | list[float] | None" = None) -> ExperimentResult:
+        """Model latency curve over the spec's load grid (or *loads*)."""
+        s = self.spec
+        grid = self.load_grid() if loads is None else np.asarray(loads, dtype=np.float64)
+        result = sweep_load(self.engine, grid, with_results=False)
+        loads_list = [float(v) for v in result.loads]
+        latency_list = [float(v) for v in result.latencies]
+        text = render_series(
+            f"model latency, {s.system.name}, M={s.message.length_flits}, "
+            f"d_m={s.message.flit_bytes:g}",
+            "lambda_g",
+            loads_list,
+            {"latency": latency_list},
+        )
+        data = {
+            "columns": {"load": loads_list, "latency": latency_list},
+            "saturation_load": self.engine.saturation_load(),
+        }
+        return self._result("sweep", data, text)
+
+    def saturation(self) -> ExperimentResult:
+        """Saturation load λ*, binding resource and per-resource rates."""
+        engine = self.engine
+        lam_star = engine.saturation_load()
+        binding = engine.binding_resource()
+        per_resource = dict(sorted(engine.saturation_loads().items(), key=lambda kv: kv[1]))
+        report = model_bottlenecks(
+            self.spec.system, self.spec.message, 0.9 * lam_star, engine=engine
+        )
+        rows = [[name, f"{lam:.4e}"] for name, lam in list(per_resource.items())[:5]]
+        table = render_table(
+            ["resource", "λ* (ρ=1)"], rows, title="tightest per-resource saturation rates"
+        )
+        text = (
+            f"saturation load λ* = {lam_star:.4e} messages/node/time-unit\n"
+            f"binding resource   = {report.binding.resource} ({report.binding.kind}, "
+            f"ρ={report.binding.utilization:.3f} at 0.9 λ*)\n\n{table}"
+        )
+        data = {
+            "saturation_load": lam_star,
+            "binding_resource": binding,
+            "per_resource": per_resource,
+        }
+        return self._result("saturation", data, text)
+
+    def capacity(self, budget: float | None = None) -> ExperimentResult:
+        """Max sustainable load under a latency *budget*.
+
+        Defaults to the spec's ``latency_budget``; a spec with the ``inf``
+        placeholder requires an explicit budget.
+        """
+        if budget is None:
+            budget = self.spec.latency_budget
+            require(
+                np.isfinite(budget),
+                f"scenario {self.spec.name!r} sets no latency_budget; pass one explicitly",
+            )
+        require_positive(budget, "budget")
+        plan = max_load_for_latency(
+            self.spec.system, self.spec.message, budget, engine=self.engine
+        )
+        status = "feasible" if plan.feasible else "INFEASIBLE"
+        text = f"{status}: λ_max = {plan.achieved:.4e}\n{plan.detail}"
+        data = {
+            "target": plan.target,
+            "achieved": plan.achieved,
+            "feasible": plan.feasible,
+            "detail": plan.detail,
+            "columns": {
+                "target": [plan.target],
+                "achieved": [plan.achieved],
+                "feasible": [plan.feasible],
+            },
+        }
+        return self._result("capacity", data, text)
+
+    def bottlenecks(self, load: float | None = None) -> ExperimentResult:
+        """Ranked resource utilisations at *load* (default: 0.9 λ*)."""
+        if load is None:
+            load = 0.9 * self.engine.saturation_load()
+        report = model_bottlenecks(
+            self.spec.system, self.spec.message, load, engine=self.engine
+        )
+        rows = [[r.resource, r.kind, f"{r.utilization:.4f}"] for r in report.top(8)]
+        table = render_table(
+            ["resource", "kind", "ρ"], rows, title=f"utilisations at λ_g={load:.4e}"
+        )
+        text = (
+            f"binding resource: {report.binding.resource} ({report.binding.kind}, "
+            f"ρ={report.binding.utilization:.3f})\n\n{table}"
+        )
+        data = {
+            "load": report.load,
+            "saturation_load": report.saturation_load,
+            "binding": {
+                "resource": report.binding.resource,
+                "kind": report.binding.kind,
+                "utilization": report.binding.utilization,
+            },
+            "resources": [
+                {"resource": r.resource, "kind": r.kind, "utilization": r.utilization}
+                for r in report.resources
+            ],
+        }
+        return self._result("bottlenecks", data, text)
+
+    def whatif(self, role: str = "icn2", factor: float = 1.2) -> ExperimentResult:
+        """Latency curves of the base system vs one network role rescaled.
+
+        Generalises the paper's Fig. 7 (+20 % ICN2) to any role/factor; both
+        curves share the spec's load grid so they are directly comparable.
+        """
+        s = self.spec
+        grid = self.load_grid()
+        variant_system = scale_network(s.system, role, factor)
+        variant_engine = BatchedModel(variant_system, s.message, s.options, s.pattern)
+        curves = []
+        series: dict[str, list[float]] = {}
+        for label, engine in (
+            (curve_label(s.system, "base"), self.engine),
+            (curve_label(s.system, f"{role} x{factor:g}"), variant_engine),
+        ):
+            result = engine.evaluate_many(grid, with_results=False)
+            latencies = [float(v) for v in result.latencies]
+            curves.append(
+                {
+                    "label": label,
+                    "loads": [float(v) for v in result.loads],
+                    "latencies": latencies,
+                    "saturation_load": engine.saturation_load(),
+                }
+            )
+            series[label] = latencies
+        gain = curves[1]["saturation_load"] / curves[0]["saturation_load"]
+        text = (
+            render_series(
+                f"what-if: {role} bandwidth x{factor:g} ({s.system.name})",
+                "lambda_g",
+                [float(v) for v in grid],
+                series,
+            )
+            + f"\nsaturation gain: x{gain:.4f}"
+        )
+        data = {
+            "role": role,
+            "factor": factor,
+            "curves": curves,
+            "saturation_gain": gain,
+            "columns": {
+                "load": curves[0]["loads"],
+                "base": curves[0]["latencies"],
+                "variant": curves[1]["latencies"],
+            },
+        }
+        return self._result("whatif", data, text)
+
+    def knee(
+        self,
+        *,
+        threshold_factor: float = 4.0,
+        messages: int = 5_000,
+        seed: int = 0,
+        iterations: int = 7,
+    ) -> ExperimentResult:
+        """Empirical simulated knee relative to the model's λ*."""
+        from repro.analysis.knee import estimate_sim_knee
+        from repro.simulation.metrics import MeasurementWindow
+
+        estimate = estimate_sim_knee(
+            self.session(),
+            threshold_factor=threshold_factor,
+            window=MeasurementWindow.scaled_paper(messages),
+            seed=seed,
+            iterations=iterations,
+            pattern=self.spec.pattern,
+        )
+        text = (
+            f"simulated knee ≈ {estimate.sim_knee:.4e} "
+            f"({estimate.knee_fraction:.0%} of the model's λ* = {estimate.model_saturation:.4e}, "
+            f"threshold {estimate.threshold_factor:g}x zero-load latency)"
+        )
+        data = {
+            "sim_knee": estimate.sim_knee,
+            "model_saturation": estimate.model_saturation,
+            "knee_fraction": estimate.knee_fraction,
+            "threshold_factor": estimate.threshold_factor,
+            "probes": [list(p) for p in estimate.probes],
+        }
+        return self._result("knee", data, text)
+
+    def simulate(
+        self,
+        load: float,
+        *,
+        messages: int = 10_000,
+        seed: int = 0,
+        granularity: str = "message",
+    ) -> ExperimentResult:
+        """One discrete-event simulation run at *load*."""
+        from repro.simulation.metrics import MeasurementWindow
+
+        result = self.session().run(
+            load,
+            seed=seed,
+            window=MeasurementWindow.scaled_paper(messages),
+            granularity=granularity,
+            pattern=self.spec.pattern,
+        )
+        util = ", ".join(f"{k}={v:.3f}" for k, v in sorted(result.network_utilization.items()))
+        text = (
+            f"simulated mean latency: {result.mean_latency:.3f} "
+            f"(p95={result.stats.p95:.2f}, n={result.stats.count}, "
+            f"intra={result.stats.mean_intra:.2f}, inter={result.stats.mean_inter:.2f})\n"
+            f"events={result.events}, wall={result.wall_seconds:.2f}s, "
+            f"completed={result.completed}\n"
+            f"utilization: {util}"
+        )
+        data = {
+            "load": load,
+            "mean_latency": result.mean_latency,
+            "p95": result.stats.p95,
+            "measured_messages": result.stats.count,
+            "events": result.events,
+            "completed": result.completed,
+            "network_utilization": dict(sorted(result.network_utilization.items())),
+        }
+        return self._result("simulate", data, text)
+
+    def validate(
+        self,
+        *,
+        points: int | None = None,
+        messages: int = 10_000,
+        seed: int = 0,
+        granularity: str = "message",
+    ) -> ExperimentResult:
+        """Model-vs-simulation comparison across the spec's load grid."""
+        from repro.io.reporting import format_validation_curve
+        from repro.simulation.metrics import MeasurementWindow
+        from repro.validation.compare import run_validation
+
+        s = self.spec
+        if points is None:
+            grid = self.load_grid()
+        else:
+            grid = replace(s.load_grid, points=points).grid(self.engine)
+        curve = run_validation(
+            s.system,
+            s.message,
+            grid,
+            seed=seed,
+            window=MeasurementWindow.scaled_paper(messages),
+            granularity=granularity,
+            options=s.options,
+            session=self.session(),
+            pattern=s.pattern,
+        )
+        text = format_validation_curve(curve)
+        data = {
+            "columns": {
+                "load": [p.load for p in curve.points],
+                "model": [p.model_latency for p in curve.points],
+                "simulation": [p.sim_latency for p in curve.points],
+                "rel_error": [p.relative_error for p in curve.points],
+            },
+            "max_abs_error": curve.max_abs_error(),
+        }
+        return self._result("validate", data, text)

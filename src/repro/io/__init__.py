@@ -6,10 +6,18 @@ from repro.io.reporting import (
     format_validation_curve,
     format_whatif_study,
 )
-from repro.io.results import load_curve_csv, load_json, save_curve_csv, save_json, to_jsonable
+from repro.io.results import (
+    from_jsonable,
+    load_curve_csv,
+    load_json,
+    save_curve_csv,
+    save_json,
+    to_jsonable,
+)
 
 __all__ = [
     "to_jsonable",
+    "from_jsonable",
     "save_json",
     "load_json",
     "save_curve_csv",

@@ -18,7 +18,14 @@ import numpy as np
 
 from repro._util import require
 
-__all__ = ["to_jsonable", "save_json", "load_json", "save_curve_csv", "load_curve_csv"]
+__all__ = [
+    "to_jsonable",
+    "from_jsonable",
+    "save_json",
+    "load_json",
+    "save_curve_csv",
+    "load_curve_csv",
+]
 
 
 def to_jsonable(value: Any) -> Any:
@@ -55,6 +62,16 @@ def _restore_floats(value: Any) -> Any:
     return value
 
 
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable`'s float tagging.
+
+    Restores ``{"__float__": ...}`` markers to ``inf``/``-inf``/``nan``
+    anywhere in a decoded JSON tree — use this when JSON text arrives from
+    somewhere other than :func:`load_json` (e.g. a config piped on stdin).
+    """
+    return _restore_floats(value)
+
+
 def save_json(path: str | Path, payload: Any) -> Path:
     """Serialise *payload* (any dataclass/dict tree) to pretty JSON."""
     path = Path(path)
@@ -68,8 +85,43 @@ def load_json(path: str | Path) -> Any:
     return _restore_floats(json.loads(Path(path).read_text()))
 
 
-def save_curve_csv(path: str | Path, columns: dict[str, list | np.ndarray]) -> Path:
-    """Write named columns of equal length as CSV."""
+def _format_csv_cell(value: Any) -> str:
+    """One CSV cell: bools and strings natively, everything else as a float.
+
+    Floats go through ``repr`` so they round-trip bit-for-bit; bools use
+    their Python repr (``True``/``False``) and strings are written verbatim.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return repr(bool(value))
+    if isinstance(value, str):
+        return value
+    return repr(float(value))
+
+
+def _parse_csv_cell(text: str) -> "float | bool | str":
+    """Inverse of :func:`_format_csv_cell` for one cell.
+
+    A string cell whose text happens to parse as a float (or as
+    ``True``/``False``) comes back as that value — column producers that
+    need verbatim strings should avoid purely numeric labels.
+    """
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def save_curve_csv(path: str | Path, columns: dict[str, "list | np.ndarray"]) -> Path:
+    """Write named columns of equal length as CSV.
+
+    Cells may be numbers, booleans (e.g. a ``saturated``/``feasible``
+    column) or strings (labels); :func:`load_curve_csv` round-trips all
+    three.
+    """
     require(len(columns) > 0, "at least one column required")
     lengths = {len(v) for v in columns.values()}
     require(len(lengths) == 1, "all columns must have equal length")
@@ -79,17 +131,21 @@ def save_curve_csv(path: str | Path, columns: dict[str, list | np.ndarray]) -> P
         writer = csv.writer(fh)
         writer.writerow(columns.keys())
         for row in zip(*columns.values()):
-            writer.writerow([repr(float(v)) for v in row])
+            writer.writerow([_format_csv_cell(v) for v in row])
     return path
 
 
-def load_curve_csv(path: str | Path) -> dict[str, list[float]]:
-    """Load a CSV written by :func:`save_curve_csv` as float columns."""
+def load_curve_csv(path: str | Path) -> dict[str, list]:
+    """Load a CSV written by :func:`save_curve_csv`.
+
+    Each cell is restored to its native type: ``True``/``False`` to bools,
+    numeric text to floats, anything else to the verbatim string.
+    """
     with Path(path).open() as fh:
         reader = csv.reader(fh)
         header = next(reader)
-        columns: dict[str, list[float]] = {h: [] for h in header}
+        columns: dict[str, list] = {h: [] for h in header}
         for row in reader:
             for h, v in zip(header, row):
-                columns[h].append(float(v))
+                columns[h].append(_parse_csv_cell(v))
     return columns

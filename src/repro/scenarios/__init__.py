@@ -1,0 +1,51 @@
+"""Declarative scenarios: serialisable specs and a named registry.
+
+* :class:`ScenarioSpec` — a JSON-round-trippable description of one study
+  (system + message + options + traffic pattern + load-grid policy);
+* the registry — paper presets (``"1120"``, ``"544"``) plus generated
+  families (scale-outs, a heterogeneity ladder, ICN2 bandwidth skews,
+  message/traffic variants), see :mod:`repro.scenarios.registry`;
+* :func:`load_scenario` — resolve a name *or* a config-file path to a spec
+  (the CLI's ``--scenario``/``--config`` semantics).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios.registry import (
+    PAPER_PRESETS,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import SCENARIO_SCHEMA, LoadGridPolicy, ScenarioSpec
+
+__all__ = [
+    "ScenarioSpec",
+    "LoadGridPolicy",
+    "SCENARIO_SCHEMA",
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "iter_scenarios",
+    "load_scenario",
+    "PAPER_PRESETS",
+]
+
+
+def load_scenario(name_or_path: str) -> ScenarioSpec:
+    """Resolve *name_or_path* to a spec: registry name first, then file.
+
+    A registered name wins; otherwise the argument is treated as a JSON
+    config-file path.  Unknown names that are not files raise ``KeyError``
+    listing the registered scenarios.
+    """
+    from repro.scenarios.registry import _REGISTRY
+
+    if name_or_path in _REGISTRY:
+        return get_scenario(name_or_path)
+    if Path(name_or_path).exists():
+        return ScenarioSpec.load(name_or_path)
+    return get_scenario(name_or_path)  # raises KeyError with the name list

@@ -74,17 +74,25 @@ def run_validation(
     granularity: str = "message",
     options: ModelOptions | None = None,
     session: SimulationSession | None = None,
+    pattern=None,
 ) -> ValidationCurve:
-    """Evaluate model and simulator at every load in *loads*."""
+    """Evaluate model and simulator at every load in *loads*.
+
+    A non-uniform *pattern* (see :mod:`repro.workloads.patterns`) drives
+    both sides of the comparison: the model's destination weighting and the
+    simulator's destination sampling.
+    """
     loads = np.asarray(loads, dtype=np.float64)
     require(loads.ndim == 1 and loads.size > 0, "loads must be a non-empty 1-D sequence")
-    model = AnalyticalModel(system, message, options)
+    model = AnalyticalModel(system, message, options, pattern)
     session = session or SimulationSession(system, message, options=options)
     window = window or MeasurementWindow.scaled_paper(20_000)
     points = []
     sim_results = []
     for idx, lam in enumerate(loads):
-        sim = session.run(float(lam), seed=seed + idx, window=window, granularity=granularity)
+        sim = session.run(
+            float(lam), seed=seed + idx, window=window, granularity=granularity, pattern=pattern
+        )
         model_result = model.evaluate(float(lam))
         points.append(
             ValidationPoint(

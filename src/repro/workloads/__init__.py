@@ -1,5 +1,30 @@
-"""Traffic workloads: the paper's uniform baseline and future-work patterns."""
+"""Traffic workloads: the paper's uniform baseline and future-work patterns.
 
-from repro.workloads.patterns import HotspotTraffic, LocalityTraffic, UniformTraffic
+Patterns are value objects registered under short names (``"uniform"``,
+``"locality"``, ``"hotspot"``) so scenario specs can serialise them; see
+:func:`register_pattern` for adding new ones.
+"""
 
-__all__ = ["UniformTraffic", "LocalityTraffic", "HotspotTraffic"]
+from repro.workloads.patterns import (
+    HotspotTraffic,
+    LocalityTraffic,
+    RegisteredPattern,
+    UniformTraffic,
+    make_pattern,
+    pattern_from_dict,
+    pattern_names,
+    pattern_to_dict,
+    register_pattern,
+)
+
+__all__ = [
+    "UniformTraffic",
+    "LocalityTraffic",
+    "HotspotTraffic",
+    "RegisteredPattern",
+    "register_pattern",
+    "pattern_names",
+    "make_pattern",
+    "pattern_to_dict",
+    "pattern_from_dict",
+]

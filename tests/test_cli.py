@@ -23,7 +23,10 @@ class TestParser:
             "simulate",
             "validate",
             "capacity",
+            "whatif",
             "report",
+            "scenarios",
+            "export-config",
         }
 
     def test_requires_command(self):
@@ -129,3 +132,246 @@ class TestCapacity:
         code, out, _ = run_cli(capsys, "capacity", "--system", "544", "--budget", "1")
         assert code == 0
         assert "INFEASIBLE" in out
+
+    def test_no_budget_anywhere_is_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "capacity", "--system", "544")
+        assert code == 2
+        assert "latency_budget" in err
+
+
+class TestScenarioSelection:
+    def test_scenario_flag(self, capsys):
+        code, out, _ = run_cli(capsys, "describe", "--scenario", "het8-split")
+        assert code == 0
+        assert "N=544" in out and "C=8" in out
+
+    def test_system_is_an_alias(self, capsys):
+        _, via_system, _ = run_cli(capsys, "describe", "--system", "544")
+        _, via_scenario, _ = run_cli(capsys, "describe", "--scenario", "544")
+        assert via_system == via_scenario
+
+    def test_conflicting_selectors_rejected(self, capsys, tmp_path):
+        """--config plus --scenario must error, not silently pick one."""
+        cfg = tmp_path / "s.json"
+        run_cli(capsys, "export-config", "--system", "544", "--out", str(cfg))
+        code, _, err = run_cli(capsys, "sweep", "--scenario", "1120", "--config", str(cfg))
+        assert code == 2
+        assert "conflicting scenario selectors" in err
+        code, _, err = run_cli(capsys, "describe", "--scenario", "1120", "--system", "544")
+        assert code == 2
+        assert "conflicting scenario selectors" in err
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "describe", "--scenario", "not-a-scenario")
+        assert code == 2
+        assert err.startswith("error:")
+        assert "available" in err
+
+    def test_missing_config_file_is_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "sweep", "--config", "/no/such/config.json")
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_config_file_roundtrip_reproduces_preset(self, capsys, tmp_path):
+        """export-config -> sweep --config must match sweep --system bit-for-bit."""
+        path = tmp_path / "cfg.json"
+        code, _, _ = run_cli(capsys, "export-config", "--system", "1120", "--out", str(path))
+        assert code == 0
+        _, via_config, _ = run_cli(capsys, "sweep", "--config", str(path))
+        _, via_system, _ = run_cli(capsys, "sweep", "--system", "1120")
+        assert via_config == via_system
+
+    def test_pattern_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "latency",
+            "--system",
+            "544",
+            "--load",
+            "2e-4",
+            "--pattern",
+            "hotspot:hot_cluster=3,hot_fraction=0.2",
+        )
+        assert code == 0
+        assert "mean message latency" in out
+
+    def test_unknown_pattern_is_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "latency", "--system", "544", "--load", "2e-4", "--pattern", "zipf"
+        )
+        assert code == 2
+        assert "unknown traffic pattern" in err
+
+    def test_option_flag_changes_result(self, capsys):
+        _, base, _ = run_cli(capsys, "saturation", "--system", "544")
+        code, alt, _ = run_cli(
+            capsys, "saturation", "--system", "544", "--option", "concentrator_rate=source_outgoing"
+        )
+        assert code == 0
+        assert base != alt
+
+    def test_unknown_option_is_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "describe", "--system", "544", "--option", "bogus=1")
+        assert code == 2
+        assert "unknown model option" in err
+
+
+class TestScenariosCommand:
+    def test_lists_all_registered(self, capsys):
+        from repro.scenarios import scenario_names
+
+        code, out, _ = run_cli(capsys, "scenarios")
+        assert code == 0
+        for name in scenario_names():
+            assert name in out
+
+    def test_show_one_as_json(self, capsys):
+        import json
+
+        code, out, _ = run_cli(capsys, "scenarios", "544-hotspot")
+        assert code == 0
+        data = json.loads(out)
+        assert data["pattern"]["name"] == "hotspot"
+        assert data["schema"] == "repro.scenario/1"
+
+
+class TestExportConfig:
+    def test_stdout_json_parses(self, capsys):
+        import json
+
+        code, out, _ = run_cli(capsys, "export-config", "--system", "544")
+        assert code == 0
+        data = json.loads(out)
+        assert data["system"]["switch_ports"] == 4
+
+    def test_export_honors_overrides(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "export-config", "--system", "544", "--flits", "64", "--pattern", "locality:locality=0.5"
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["message"]["length_flits"] == 64
+        assert data["pattern"] == {"name": "locality", "params": {"locality": 0.5}}
+
+
+class TestOutFlag:
+    def test_sweep_csv(self, capsys, tmp_path):
+        from repro.io import load_curve_csv
+
+        path = tmp_path / "sweep.csv"
+        code, out, _ = run_cli(
+            capsys, "sweep", "--system", "544", "--points", "3", "--out", str(path)
+        )
+        assert code == 0
+        assert f"wrote {path}" in out
+        cols = load_curve_csv(path)
+        assert set(cols) == {"load", "latency"}
+        assert len(cols["load"]) == 3
+
+    def test_sweep_json_schema(self, capsys, tmp_path):
+        from repro.io import load_json
+
+        path = tmp_path / "sweep.json"
+        code, _, _ = run_cli(capsys, "sweep", "--system", "544", "--out", str(path))
+        assert code == 0
+        data = load_json(path)
+        assert data["schema"] == "repro.experiment/1"
+        assert data["kind"] == "sweep"
+        assert data["scenario"] == "544"
+        assert data["spec"]["system"]["name"] == "N544-m4-C16"
+        assert len(data["data"]["columns"]["load"]) == 12
+
+    def test_capacity_csv_round_trips_bool(self, capsys, tmp_path):
+        from repro.io import load_curve_csv
+
+        path = tmp_path / "cap.csv"
+        code, _, _ = run_cli(
+            capsys, "capacity", "--system", "544", "--budget", "60", "--out", str(path)
+        )
+        assert code == 0
+        cols = load_curve_csv(path)
+        assert cols["feasible"] == [True]
+
+    def test_validate_honors_config_grid_points(self, capsys, tmp_path):
+        """Regression: validate used to hardcode 5 points, silently ignoring
+        a config's load_grid.points."""
+        import json
+
+        from repro.io import load_curve_csv
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("544")
+        data = spec.to_dict()
+        data["load_grid"]["points"] = 2
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps(data))
+        out = tmp_path / "val.csv"
+        code, _, _ = run_cli(
+            capsys, "validate", "--config", str(cfg), "--messages", "300", "--out", str(out)
+        )
+        assert code == 0
+        assert len(load_curve_csv(out)["load"]) == 2
+
+    def test_validate_default_grid_stays_at_five_points(self, capsys, tmp_path):
+        """Without --points and without a scenario-customised grid, validate
+        keeps its historical 5-simulation default (not the sweep's 12)."""
+        out = tmp_path / "val5.csv"
+        code, _, _ = run_cli(
+            capsys, "validate", "--system", "544", "--messages", "300", "--out", str(out)
+        )
+        assert code == 0
+        from repro.io import load_curve_csv
+
+        assert len(load_curve_csv(out)["load"]) == 5
+
+    def test_validate_csv(self, capsys, tmp_path):
+        from repro.io import load_curve_csv
+
+        path = tmp_path / "val.csv"
+        code, _, _ = run_cli(
+            capsys,
+            "validate",
+            "--system",
+            "544",
+            "--points",
+            "2",
+            "--messages",
+            "500",
+            "--out",
+            str(path),
+        )
+        assert code == 0
+        cols = load_curve_csv(path)
+        assert set(cols) == {"load", "model", "simulation", "rel_error"}
+
+    def test_unknown_extension_is_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "sweep", "--system", "544", "--out", str(tmp_path / "x.txt")
+        )
+        assert code == 2
+        assert ".json or .csv" in err
+
+    def test_export_config_rejects_csv_out(self, capsys, tmp_path):
+        """export-config only writes JSON; a .csv --out must fail, not
+        silently produce a JSON-bodied .csv file."""
+        path = tmp_path / "x.csv"
+        code, _, err = run_cli(capsys, "export-config", "--system", "544", "--out", str(path))
+        assert code == 2
+        assert ".json" in err
+        assert not path.exists()
+
+    def test_pattern_missing_params_is_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "latency", "--system", "544", "--load", "2e-4", "--pattern", "hotspot"
+        )
+        assert code == 2
+        assert "invalid parameters" in err
+
+
+class TestWhatIf:
+    def test_whatif_curves(self, capsys):
+        code, out, _ = run_cli(capsys, "whatif", "--system", "544", "--factor", "1.2")
+        assert code == 0
+        assert "saturation gain" in out

@@ -20,6 +20,8 @@ MODULES = [
     "repro.validation.report",
     "repro.workloads",
     "repro.analysis",
+    "repro.scenarios",
+    "repro.experiments",
     "repro.io",
     "repro.io.reporting",
     "repro.cli",

@@ -79,6 +79,30 @@ class TestCsvRoundtrip:
         assert loaded["load"] == [1e-4, 2e-4]
         assert loaded["latency"] == [10.5, 20.25]
 
+    def test_bool_column_round_trips(self, tmp_path):
+        """Regression: repr(float(v)) used to turn a saturated-flags column
+        into 1.0/0.0 (and choke on strings)."""
+        cols = {"load": [1e-4, 2e-4], "saturated": [False, True]}
+        loaded = load_curve_csv(save_curve_csv(tmp_path / "b.csv", cols))
+        assert loaded["saturated"] == [False, True]
+        assert isinstance(loaded["saturated"][0], bool)
+
+    def test_numpy_bool_column_round_trips(self, tmp_path):
+        cols = {"saturated": list(np.array([True, False]))}
+        loaded = load_curve_csv(save_curve_csv(tmp_path / "nb.csv", cols))
+        assert loaded["saturated"] == [True, False]
+
+    def test_string_column_round_trips(self, tmp_path):
+        cols = {"label": ["c0", "c8->c11:concentrator"], "rho": [0.5, 0.9]}
+        loaded = load_curve_csv(save_curve_csv(tmp_path / "s.csv", cols))
+        assert loaded["label"] == ["c0", "c8->c11:concentrator"]
+        assert loaded["rho"] == [0.5, 0.9]
+
+    def test_mixed_types_in_one_file(self, tmp_path):
+        cols = {"name": ["a", "b"], "ok": [True, False], "x": [1.5, float("inf")]}
+        loaded = load_curve_csv(save_curve_csv(tmp_path / "m.csv", cols))
+        assert loaded == cols
+
     def test_rejects_ragged_columns(self, tmp_path):
         with pytest.raises(ValueError):
             save_curve_csv(tmp_path / "c.csv", {"a": [1], "b": [1, 2]})

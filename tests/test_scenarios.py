@@ -1,0 +1,233 @@
+"""Scenario spec serialisation and registry tests (repro.scenarios)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import MessageSpec, ModelOptions, NetworkCharacteristics, paper_system_544, paper_system_1120
+from repro.core.parameters import ClusterSpec, SystemConfig
+from repro.io import load_json, save_json
+from repro.scenarios import (
+    PAPER_PRESETS,
+    LoadGridPolicy,
+    ScenarioSpec,
+    get_scenario,
+    load_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.workloads import HotspotTraffic, LocalityTraffic, UniformTraffic, make_pattern, pattern_from_dict, pattern_names, pattern_to_dict
+
+
+ALL_SCENARIOS = scenario_names()
+
+
+class TestParameterRoundTrips:
+    @pytest.mark.parametrize("net", [NetworkCharacteristics(500.0, 0.01, 0.02, "Net.1"), NetworkCharacteristics(1.0, 0.0, 0.0)])
+    def test_network(self, net):
+        assert NetworkCharacteristics.from_dict(net.to_dict()) == net
+
+    def test_cluster(self):
+        spec = ClusterSpec(tree_depth=3, compute_power=2.5, name="c7")
+        assert ClusterSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("factory", [paper_system_544, paper_system_1120])
+    def test_system(self, factory):
+        system = factory()
+        assert SystemConfig.from_dict(system.to_dict()) == system
+
+    def test_message(self):
+        assert MessageSpec.from_dict(MessageSpec(64, 512.0).to_dict()) == MessageSpec(64, 512.0)
+
+    def test_options_full_and_partial(self):
+        options = ModelOptions(concentrator_rate="source_outgoing", relaxing_factor=False)
+        assert ModelOptions.from_dict(options.to_dict()) == options
+        assert ModelOptions.from_dict({}) == ModelOptions()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            MessageSpec.from_dict({"length_flits": 32, "flit_bytes": 256.0, "oops": 1})
+        with pytest.raises(ValueError, match="unknown"):
+            ModelOptions.from_dict({"tcn": "x"})
+
+
+class TestPatternRegistry:
+    def test_builtin_names(self):
+        assert {"uniform", "locality", "hotspot"} <= set(pattern_names())
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [UniformTraffic(), LocalityTraffic(0.25), HotspotTraffic(hot_cluster=3, hot_fraction=0.4)],
+    )
+    def test_round_trip(self, pattern):
+        assert pattern_from_dict(pattern_to_dict(pattern)) == pattern
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown traffic pattern"):
+            make_pattern("zipf")
+
+    def test_bad_params_raise_valueerror_not_typeerror(self):
+        """Regression: a missing/typo'd constructor param used to escape as
+        TypeError, bypassing the CLI's clean-error handling."""
+        with pytest.raises(ValueError, match="invalid parameters"):
+            make_pattern("hotspot")  # required params omitted
+        with pytest.raises(ValueError, match="invalid parameters"):
+            make_pattern("locality", locolity=0.5)
+
+    def test_unregistered_pattern_not_serialisable(self):
+        class Custom:
+            pass
+
+        with pytest.raises(ValueError, match="not registered"):
+            pattern_to_dict(Custom())
+
+    def test_subclass_of_registered_pattern_not_serialisable(self):
+        """Regression: a subclass inheriting the base's pattern_name used to
+        serialise under the base name and silently come back as the base
+        class — different traffic behaviour with no error."""
+
+        class Skewed(LocalityTraffic):
+            pass
+
+        with pytest.raises(ValueError, match="not registered"):
+            pattern_to_dict(Skewed(0.5))
+
+    def test_value_equality(self):
+        assert LocalityTraffic(0.5) == LocalityTraffic(0.5)
+        assert LocalityTraffic(0.5) != LocalityTraffic(0.6)
+        assert UniformTraffic() != LocalityTraffic(0.0)
+
+    def test_numpy_integer_hot_cluster_accepted(self):
+        """Regression: np.argmax-style indices must work (require_int
+        convention: any numbers.Integral, still rejecting bool)."""
+        import numpy as np
+
+        pattern = HotspotTraffic(hot_cluster=np.int64(3), hot_fraction=0.3)
+        assert pattern == HotspotTraffic(hot_cluster=3, hot_fraction=0.3)
+        assert isinstance(pattern.pattern_params()["hot_cluster"], int)
+        with pytest.raises(ValueError):
+            HotspotTraffic(hot_cluster=True, hot_fraction=0.3)
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("preset", PAPER_PRESETS)
+    def test_paper_presets_identity(self, preset):
+        spec = get_scenario(preset)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_registered_scenario_through_json_text(self, name):
+        spec = get_scenario(name)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_nonuniform_pattern_spec_identity(self):
+        spec = ScenarioSpec(
+            name="custom-hotspot",
+            system=paper_system_544(),
+            message=MessageSpec(64, 512.0),
+            options=ModelOptions(variance_approximation="exponential"),
+            pattern=HotspotTraffic(hot_cluster=2, hot_fraction=0.15),
+            load_grid=LoadGridPolicy(points=6, fraction_of_saturation=0.8, include_zero=True),
+            latency_budget=120.0,
+            description="test spec",
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_nonfinite_budget_through_json_file(self, tmp_path):
+        """The default latency_budget is inf; it must survive a file trip."""
+        spec = get_scenario("1120")
+        assert math.isinf(spec.latency_budget)
+        path = spec.save(tmp_path / "spec.json")
+        loaded = ScenarioSpec.load(path)
+        assert loaded == spec
+        assert math.isinf(loaded.latency_budget)
+
+    def test_nonfinite_floats_via_save_load_json(self, tmp_path):
+        """to_dict trees with inf pass through save_json/load_json tagging."""
+        spec = get_scenario("544-hotspot")
+        path = save_json(tmp_path / "x.json", spec.to_dict())
+        assert ScenarioSpec.from_dict(load_json(path)) == spec
+        raw = json.loads(path.read_text())
+        assert raw["latency_budget"] == {"__float__": "inf"}
+
+    def test_numpy_integer_grid_points_accepted(self):
+        import numpy as np
+
+        assert LoadGridPolicy(points=np.int64(6)).points == 6
+        with pytest.raises(ValueError):
+            LoadGridPolicy(points=1)
+
+    def test_unknown_scenario_key_rejected(self):
+        data = get_scenario("544").to_dict()
+        data["turbo"] = True
+        with pytest.raises(ValueError, match="unknown scenario key"):
+            ScenarioSpec.from_dict(data)
+
+    def test_missing_required_keys_report_the_section(self):
+        """Regression: a config missing a required field used to escape as a
+        bare KeyError ('error: bandwidth' at the CLI)."""
+        data = get_scenario("544").to_dict()
+        del data["system"]["clusters"][0]["icn1"]["bandwidth"]
+        with pytest.raises(ValueError, match="network missing required key"):
+            ScenarioSpec.from_dict(data)
+        data = get_scenario("544").to_dict()
+        del data["system"]["switch_ports"]
+        with pytest.raises(ValueError, match="system missing required key"):
+            ScenarioSpec.from_dict(data)
+        with pytest.raises(ValueError, match="scenario missing required key"):
+            ScenarioSpec.from_dict({"name": "x"})
+
+    def test_wrong_schema_rejected(self):
+        data = get_scenario("544").to_dict()
+        data["schema"] = "repro.scenario/99"
+        with pytest.raises(ValueError, match="unsupported scenario schema"):
+            ScenarioSpec.from_dict(data)
+
+
+class TestRegistry:
+    def test_at_least_twelve_beyond_presets(self):
+        extra = [n for n in ALL_SCENARIOS if n not in PAPER_PRESETS]
+        assert len(extra) >= 12
+
+    def test_names_unique_and_specs_named_consistently(self):
+        assert len(set(ALL_SCENARIOS)) == len(ALL_SCENARIOS)
+        for name in ALL_SCENARIOS:
+            assert get_scenario(name).name == name
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("544", lambda: get_scenario("544"))
+
+    @pytest.mark.parametrize(
+        "name,nodes,clusters", [("1120-x4", 4480, 128), ("544-x2", 1088, 32), ("544-x4", 2176, 64)]
+    )
+    def test_scaled_out_names_match_real_totals(self, name, nodes, clusters):
+        """Regression: scale-outs used to keep the base preset's N/C in
+        their system name, contradicting the actual organisation."""
+        system = get_scenario(name).system
+        assert system.total_nodes == nodes and system.num_clusters == clusters
+        assert f"N{nodes}" in system.name and f"C{clusters}" in system.name
+
+    def test_load_scenario_accepts_name_and_path(self, tmp_path):
+        by_name = load_scenario("544")
+        path = by_name.save(tmp_path / "s.json")
+        assert load_scenario(str(path)) == by_name
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_scenario_evaluable_to_saturation(self, name):
+        """Each registered scenario must build an engine, expose a finite
+        saturation load and evaluate to a finite latency just below it."""
+        from repro.experiments import Experiment
+
+        exp = Experiment(name)
+        lam_star = exp.engine.saturation_load()
+        assert math.isfinite(lam_star) and lam_star > 0
+        result = exp.engine.evaluate(0.5 * lam_star)
+        assert math.isfinite(result.latency)
+        assert not result.saturated
