@@ -1,14 +1,18 @@
 """Performance — simulator throughput (events/second) at both granularities.
 
 Quantifies the cost of validation runs: the message-level engine on a paper
-system and the flit-level engine on the small reference system.
+system and the flit-level engine on the small reference system, plus the
+process-pool replication fan-out (serial vs ``jobs=auto`` wall-clock and
+the bit-equality of their results).
 """
+
+import os
 
 import pytest
 
 from repro.cluster import homogeneous_system
 from repro.core import MessageSpec, paper_system_544
-from repro.simulation import MeasurementWindow, SimulationSession
+from repro.simulation import MeasurementWindow, SimulationSession, replicate
 
 from benchmarks.conftest import emit
 
@@ -29,6 +33,49 @@ def test_message_level_throughput_paper_system(benchmark, sessions, out_dir):
         f"message-level engine, N=544 @ λ=3e-4: {result.events} events, "
         f"{result.wall_seconds:.2f}s -> {rate:,.0f} events/s",
         payload={"events": result.events, "events_per_second": rate},
+    )
+
+
+@pytest.mark.benchmark(group="performance")
+def test_parallel_replication_speedup(benchmark, sessions, out_dir):
+    """Serial vs process-pool replication: speedup figure + bit-equality.
+
+    On a single-core runner the pool costs more than it saves (the figure
+    records that honestly); the invariant asserted either way is that the
+    parallel path reproduces the serial replicas bit for bit.
+    """
+    session = sessions.get(paper_system_544(), MessageSpec(32, 256.0))
+    window = MeasurementWindow(200, 2000, 200)
+    replicas = 4
+
+    serial = replicate(session, 3e-4, replicas=replicas, base_seed=0, window=window)
+    parallel = benchmark.pedantic(
+        lambda: replicate(session, 3e-4, replicas=replicas, base_seed=0, window=window, jobs=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert [r.mean_latency for r in parallel.replicas] == [
+        r.mean_latency for r in serial.replicas
+    ]
+    speedup = serial.elapsed_seconds / parallel.elapsed_seconds
+    emit(
+        out_dir,
+        "sim_speed_parallel_replication",
+        f"replication, N=544 @ λ=3e-4, {replicas} replicas: serial "
+        f"{serial.elapsed_seconds:.2f}s vs jobs={parallel.jobs} "
+        f"{parallel.elapsed_seconds:.2f}s -> {speedup:.2f}x "
+        f"({parallel.events_per_second:,.0f} effective events/s, "
+        f"{os.cpu_count()} CPUs, results bit-identical)",
+        payload={
+            "replicas": replicas,
+            "jobs": parallel.jobs,
+            "cpus": os.cpu_count(),
+            "serial_seconds": serial.elapsed_seconds,
+            "parallel_seconds": parallel.elapsed_seconds,
+            "speedup": speedup,
+            "events": parallel.events,
+            "effective_events_per_second": parallel.events_per_second,
+        },
     )
 
 

@@ -23,8 +23,11 @@ Subcommands mirror the :class:`repro.experiments.Experiment` facade:
 ``describe``      structural summary of the scenario (Table 1 view).
 ``latency``       evaluate the analytical model at one load (with breakdown).
 ``saturation``    saturation load λ* and the binding resource.
-``sweep``         model latency curve up to the knee (a paper-figure column).
-``simulate``      run the discrete-event simulator at one load.
+``sweep``         model latency curve up to the knee (a paper-figure column);
+                  ``--scenario A,B,...`` or ``--all`` sweeps many scenarios at
+                  once (optionally fanned out with ``--jobs``).
+``simulate``      run the discrete-event simulator at one load; ``--replicas``
+                  adds a confidence interval over independent spawned seeds.
 ``validate``      model-vs-simulation comparison across a load grid.
 ``capacity``      max sustainable load under a latency budget.
 ``whatif``        base-vs-rescaled-network latency curves (Fig. 7 family).
@@ -34,6 +37,10 @@ Subcommands mirror the :class:`repro.experiments.Experiment` facade:
 
 ``sweep``, ``validate`` and ``capacity`` accept ``--out <path>`` to persist
 the result as JSON or CSV (by extension) via :mod:`repro.io.results`.
+``simulate``, ``validate`` and ``report`` accept ``--jobs N`` to fan their
+simulations across a process pool (``--jobs 0`` = one worker per CPU);
+results are bit-identical for any worker count (see
+``docs/parallel_validation.md``).
 """
 
 from __future__ import annotations
@@ -97,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     def out_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument("--out", default=None, help="persist the result (.json or .csv by extension)")
 
+    def jobs_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="process-pool workers for simulation fan-out (0 = one per CPU; "
+            "results are identical for any worker count)",
+        )
+
     p = sub.add_parser("describe", help="structural summary of the scenario")
     common(p)
 
@@ -110,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="model latency curve up to the knee")
     common(p)
     p.add_argument("--points", type=int, default=None, help="override the scenario's grid points")
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="sweep every registered scenario (multi-scenario table; combine with --jobs)",
+    )
+    jobs_flag(p)
     out_flag(p)
 
     p = sub.add_parser("simulate", help="discrete-event simulation at one load")
@@ -118,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--messages", type=int, default=10_000, help="measured messages")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--granularity", choices=["message", "flit"], default="message")
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="replicate the point under independent spawned seeds (>= 2) and report a CI",
+    )
+    jobs_flag(p)
 
     p = sub.add_parser("validate", help="model vs simulation across a load grid")
     common(p)
@@ -126,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--messages", type=int, default=10_000)
     p.add_argument("--seed", type=int, default=0)
+    jobs_flag(p)
     out_flag(p)
 
     p = sub.add_parser("capacity", help="max load within a latency budget")
@@ -148,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--messages", type=int, default=10_000, help="measured messages per sim point")
     p.add_argument("--points", type=int, default=6, help="loads per curve")
     p.add_argument("--model-only", action="store_true", help="skip simulations (seconds instead of minutes)")
+    jobs_flag(p)
 
     p = sub.add_parser("scenarios", help="list registered scenarios (or show one as JSON)")
     p.add_argument("name", nargs="?", default=None, help="show this scenario's full spec as JSON")
@@ -285,14 +316,48 @@ def _cmd_saturation(args) -> str:
 
 
 def _cmd_sweep(args) -> str:
+    # Multi-scenario fan-out: `--all` or a comma-separated `--scenario` list
+    # route through Experiment.sweep_many (one uniform long-format table).
+    names = None
+    if args.all:
+        require(
+            not (args.config or args.scenario or args.system),
+            "--all conflicts with --config/--scenario/--system",
+        )
+        names = list(scenario_names())
+    elif args.scenario and "," in args.scenario:
+        names = [part.strip() for part in args.scenario.split(",") if part.strip()]
+        require(names, "--scenario got an empty scenario list")
+    if names is not None:
+        require(
+            args.flits is None and args.flit_bytes is None and not args.option and args.pattern is None,
+            "multi-scenario sweep does not support --flits/--flit-bytes/--option/--pattern overrides",
+        )
+        result = Experiment.sweep_many(names, jobs=args.jobs, points=args.points)
+        return result.text + _persist(result, args.out)
+    require(
+        args.jobs is None,
+        "--jobs only applies to a multi-scenario sweep (--all or --scenario A,B,...)",
+    )
     result = _experiment(args).sweep()
     return result.text + _persist(result, args.out)
 
 
 def _cmd_simulate(args) -> str:
+    require(
+        args.jobs is None or args.replicas is not None,
+        "--jobs on simulate requires --replicas (a single run has nothing to fan out)",
+    )
     return (
         _experiment(args)
-        .simulate(args.load, messages=args.messages, seed=args.seed, granularity=args.granularity)
+        .simulate(
+            args.load,
+            messages=args.messages,
+            seed=args.seed,
+            granularity=args.granularity,
+            replicas=args.replicas,
+            jobs=args.jobs,
+        )
         .text
     )
 
@@ -305,7 +370,7 @@ def _cmd_validate(args) -> str:
     spec = resolve_spec(args)
     if args.points is None and spec.load_grid == LoadGridPolicy():
         spec = replace(spec, load_grid=replace(spec.load_grid, points=5))
-    result = Experiment(spec).validate(messages=args.messages, seed=args.seed)
+    result = Experiment(spec).validate(messages=args.messages, seed=args.seed, jobs=args.jobs)
     return result.text + _persist(result, args.out)
 
 
@@ -326,6 +391,7 @@ def _cmd_report(args) -> str:
         messages_per_point=args.messages,
         points_per_curve=args.points,
         include_simulation=not args.model_only,
+        jobs=args.jobs,
     )
     return report.text
 

@@ -20,6 +20,8 @@ because each method delegates to those functions with the shared engine
 
 from __future__ import annotations
 
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -411,10 +413,23 @@ class Experiment:
         messages: int = 10_000,
         seed: int = 0,
         granularity: str = "message",
+        replicas: "int | None" = None,
+        jobs: "int | str | None" = None,
     ) -> ExperimentResult:
-        """One discrete-event simulation run at *load*."""
+        """Discrete-event simulation at *load*.
+
+        With *replicas* (≥ 2) the point is replicated under independent
+        spawned seeds and summarised with a confidence interval; ``jobs``
+        fans the replicas across a process pool (results are bit-identical
+        for any worker count).  Without *replicas*, one run at *seed*.
+        """
         from repro.simulation.metrics import MeasurementWindow
 
+        if replicas is not None:
+            return self._simulate_replicated(
+                load, messages=messages, seed=seed, granularity=granularity,
+                replicas=replicas, jobs=jobs,
+            )
         result = self.session().run(
             load,
             seed=seed,
@@ -442,6 +457,45 @@ class Experiment:
         }
         return self._result("simulate", data, text)
 
+    def _simulate_replicated(
+        self, load, *, messages, seed, granularity, replicas, jobs
+    ) -> ExperimentResult:
+        from repro.simulation.metrics import MeasurementWindow
+        from repro.simulation.replication import replicate
+
+        rep = replicate(
+            self.session(),
+            load,
+            replicas=replicas,
+            base_seed=seed,
+            window=MeasurementWindow.scaled_paper(messages),
+            jobs=jobs,
+            granularity=granularity,
+            pattern=self.spec.pattern,
+        )
+        text = (
+            f"simulated mean latency: {rep.mean_latency:.3f} "
+            f"± {rep.ci_half_width:.3f} ({rep.confidence:.0%} CI, "
+            f"{replicas} replicas, base seed {seed})\n"
+            f"events={rep.events}, elapsed={rep.elapsed_seconds:.2f}s "
+            f"-> {rep.events_per_second:,.0f} events/s (jobs={rep.jobs})"
+        )
+        data = {
+            "load": load,
+            "mean_latency": rep.mean_latency,
+            "ci_half_width": rep.ci_half_width,
+            "confidence": rep.confidence,
+            "replicas": replicas,
+            "seeds": list(rep.seeds),
+            "replica_means": [r.mean_latency for r in rep.replicas],
+            "events": rep.events,
+            "wall_seconds": rep.wall_seconds,
+            "elapsed_seconds": rep.elapsed_seconds,
+            "events_per_second": rep.events_per_second,
+            "jobs": rep.jobs,
+        }
+        return self._result("simulate", data, text)
+
     def validate(
         self,
         *,
@@ -449,10 +503,16 @@ class Experiment:
         messages: int = 10_000,
         seed: int = 0,
         granularity: str = "message",
+        jobs: "int | str | None" = None,
     ) -> ExperimentResult:
-        """Model-vs-simulation comparison across the spec's load grid."""
+        """Model-vs-simulation comparison across the spec's load grid.
+
+        ``jobs`` fans the per-point simulations across a process pool;
+        the curve is bit-identical for any worker count.
+        """
         from repro.io.reporting import format_validation_curve
         from repro.simulation.metrics import MeasurementWindow
+        from repro.simulation.parallel import resolve_jobs
         from repro.validation.compare import run_validation
 
         s = self.spec
@@ -460,6 +520,10 @@ class Experiment:
             grid = self.load_grid()
         else:
             grid = replace(s.load_grid, points=points).grid(self.engine)
+        # Cap at the point count so the reported jobs matches the workers
+        # that could actually run (run_work_items applies the same cap).
+        n_jobs = min(resolve_jobs(jobs), len(grid))
+        start = _time.perf_counter()
         curve = run_validation(
             s.system,
             s.message,
@@ -470,8 +534,14 @@ class Experiment:
             options=s.options,
             session=self.session(),
             pattern=s.pattern,
+            jobs=n_jobs,
         )
-        text = format_validation_curve(curve)
+        elapsed = _time.perf_counter() - start
+        events_per_second = curve.sim_events / elapsed if elapsed > 0 else float("nan")
+        text = format_validation_curve(curve) + (
+            f"\nsim events={curve.sim_events}, elapsed={elapsed:.2f}s "
+            f"-> {events_per_second:,.0f} events/s (jobs={n_jobs})"
+        )
         data = {
             "columns": {
                 "load": [p.load for p in curve.points],
@@ -480,5 +550,101 @@ class Experiment:
                 "rel_error": [p.relative_error for p in curve.points],
             },
             "max_abs_error": curve.max_abs_error(),
+            "sim_events": curve.sim_events,
+            "sim_wall_seconds": curve.sim_wall_seconds,
+            "elapsed_seconds": elapsed,
+            "events_per_second": events_per_second,
+            "jobs": n_jobs,
         }
         return self._result("validate", data, text)
+
+    @classmethod
+    def sweep_many(
+        cls,
+        scenarios,
+        *,
+        jobs: "int | str | None" = None,
+        points: int | None = None,
+    ) -> ExperimentResult:
+        """Model sweep across many scenarios, fanned out over a process pool.
+
+        *scenarios* is an iterable of registered names and/or
+        :class:`~repro.scenarios.ScenarioSpec` instances.  Each scenario
+        pays its own load-independent precompute, so with ``jobs > 1`` they
+        run concurrently in worker processes; the gathered result is one
+        uniform long-format table (``scenario``/``load``/``latency``
+        columns plus a per-scenario summary) with a stable schema.
+        """
+        from repro.simulation.parallel import resolve_jobs
+
+        specs = [get_scenario(s) if isinstance(s, str) else s for s in scenarios]
+        require(len(specs) > 0, "sweep_many needs at least one scenario")
+        for spec in specs:
+            require(isinstance(spec, ScenarioSpec), "scenarios must be names or ScenarioSpec")
+        names = [spec.name for spec in specs]
+        require(len(set(names)) == len(names), f"duplicate scenario names: {names}")
+        payloads = [(spec.to_dict(), points) for spec in specs]
+        n_jobs = min(resolve_jobs(jobs), len(payloads))
+        if n_jobs > 1:
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                rows = list(pool.map(_sweep_one, payloads))
+        else:
+            rows = [_sweep_one(p) for p in payloads]
+        scenario_col: list[str] = []
+        load_col: list[float] = []
+        latency_col: list[float] = []
+        for row in rows:
+            scenario_col.extend([row["scenario"]] * len(row["loads"]))
+            load_col.extend(row["loads"])
+            latency_col.extend(row["latencies"])
+        table = render_table(
+            ["scenario", "N", "points", "λ*", "latency @ grid top"],
+            [
+                [
+                    row["scenario"],
+                    row["total_nodes"],
+                    len(row["loads"]),
+                    f"{row['saturation_load']:.4e}",
+                    f"{row['latencies'][-1]:.3f}",
+                ]
+                for row in rows
+            ],
+            title=f"model sweep across {len(rows)} scenarios (jobs={n_jobs})",
+        )
+        data = {
+            "scenarios": rows,
+            "jobs": n_jobs,
+            "columns": {
+                "scenario": scenario_col,
+                "load": load_col,
+                "latency": latency_col,
+            },
+        }
+        return ExperimentResult(
+            kind="sweep_many",
+            scenario=",".join(names),
+            spec={"scenarios": [p[0] for p in payloads]},
+            data=data,
+            text=table,
+        )
+
+
+def _sweep_one(payload: tuple) -> dict:
+    """Worker for :meth:`Experiment.sweep_many` (module-level: picklable).
+
+    Reconstructs the spec from its serialised form, runs the standard
+    ``sweep`` workflow, and returns the plain-dict row the gatherer
+    assembles — identical numbers to ``Experiment(spec).sweep()``.
+    """
+    spec_dict, points = payload
+    spec = ScenarioSpec.from_dict(spec_dict)
+    if points is not None:
+        spec = replace(spec, load_grid=replace(spec.load_grid, points=points))
+    result = Experiment(spec).sweep()
+    return {
+        "scenario": spec.name,
+        "total_nodes": spec.system.total_nodes,
+        "loads": result.data["columns"]["load"],
+        "latencies": result.data["columns"]["latency"],
+        "saturation_load": result.data["saturation_load"],
+    }

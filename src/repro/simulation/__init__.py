@@ -2,8 +2,9 @@
 
 from repro.simulation.fabric import GROUPS, ResolvedFabric, ResolvedSegment
 from repro.simulation.metrics import LatencyCollector, LatencyStats, MeasurementWindow
+from repro.simulation.parallel import SimWorkItem, resolve_jobs, run_work_item, run_work_items
 from repro.simulation.replication import ReplicatedResult, replicate
-from repro.simulation.rng import SimulationStreams, make_streams
+from repro.simulation.rng import ReplayableDraws, SimulationStreams, make_streams, replica_seeds
 from repro.simulation.runner import (
     SimulationConfig,
     SimulationResult,
@@ -22,6 +23,12 @@ __all__ = [
     "LatencyStats",
     "SimulationStreams",
     "make_streams",
+    "replica_seeds",
+    "ReplayableDraws",
+    "SimWorkItem",
+    "resolve_jobs",
+    "run_work_item",
+    "run_work_items",
     "ReplicatedResult",
     "replicate",
     "SimulationConfig",

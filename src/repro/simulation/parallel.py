@@ -1,0 +1,140 @@
+"""Process-pool fan-out for simulation work.
+
+The analytical model is effectively free (the batched engine), so every
+paper-style validation run is bounded by discrete-event simulation time.
+This module makes that layer scale with the hardware: any batch of
+independent simulator runs — replicas of one operating point, the load
+points of a validation grid, whole scenarios — is described as a list of
+:class:`SimWorkItem` and executed by :func:`run_work_items` either
+in-process or across a ``ProcessPoolExecutor``.
+
+Determinism: a work item is a pure function of spec-level inputs
+(system/message/options are frozen dataclasses, patterns are registered
+classes — all picklable) plus one integer seed, so results are
+bit-identical for any worker count, including the serial path.  Order is
+preserved: result ``i`` always belongs to item ``i``.
+
+Failure semantics: an exception raised inside a worker propagates to the
+caller when its result is gathered (the pool is shut down on the way
+out); it is never swallowed into a partial result list.
+
+Workers keep a small per-process session cache keyed by
+``(system, message, options)``, so fanning one scenario's load points
+across ``k`` workers builds at most ``k`` fabrics rather than one per
+point.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro._util import require, require_int
+from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
+from repro.simulation.metrics import MeasurementWindow
+from repro.simulation.runner import SimulationResult, SimulationSession
+from repro.simulation.traffic import SimTrafficPattern
+
+__all__ = ["SimWorkItem", "resolve_jobs", "run_work_item", "run_work_items"]
+
+
+@dataclass(frozen=True)
+class SimWorkItem:
+    """One simulator run, described by picklable spec-level inputs."""
+
+    system: SystemConfig
+    message: MessageSpec
+    generation_rate: float
+    seed: int
+    window: MeasurementWindow
+    options: ModelOptions = field(default_factory=ModelOptions)
+    granularity: str = "message"
+    ideal_sinks: bool = False
+    cd_mode: str = "paper"
+    pattern: SimTrafficPattern | None = None
+    max_events: int = 500_000_000
+
+
+def resolve_jobs(jobs: "int | str | None") -> int:
+    """Normalise a ``--jobs`` value to a worker count.
+
+    ``None``/``1`` mean serial in-process execution; ``0`` or ``"auto"``
+    mean one worker per available CPU; any other positive int is taken
+    as-is.
+    """
+    if jobs is None:
+        return 1
+    require(not isinstance(jobs, bool), "jobs must be an int or 'auto', not a bool")
+    if jobs == "auto" or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    require_int(jobs, "jobs", minimum=1)
+    return int(jobs)
+
+
+# Per-process session cache (bounded: the worker processes of one pool see
+# a handful of configurations, but a long-lived parent process may run many
+# different scenarios through the serial path).
+_SESSION_CACHE: dict = {}
+_SESSION_CACHE_MAX = 8
+
+
+def _session_for(item: SimWorkItem) -> SimulationSession:
+    key = (item.system, item.message, item.options)
+    session = _SESSION_CACHE.get(key)
+    if session is None:
+        if len(_SESSION_CACHE) >= _SESSION_CACHE_MAX:
+            _SESSION_CACHE.pop(next(iter(_SESSION_CACHE)))
+        session = SimulationSession(item.system, item.message, options=item.options)
+        _SESSION_CACHE[key] = session
+    return session
+
+
+def _run_on(session: SimulationSession, item: SimWorkItem) -> SimulationResult:
+    """Run *item* on *session* — the single place item fields map to run kwargs."""
+    return session.run(
+        item.generation_rate,
+        seed=item.seed,
+        window=item.window,
+        granularity=item.granularity,
+        ideal_sinks=item.ideal_sinks,
+        cd_mode=item.cd_mode,
+        pattern=item.pattern,
+        max_events=item.max_events,
+    )
+
+
+def run_work_item(item: SimWorkItem) -> SimulationResult:
+    """Execute one work item (the function a pool worker runs)."""
+    return _run_on(_session_for(item), item)
+
+
+def run_work_items(
+    items,
+    *,
+    jobs: "int | str | None" = None,
+    session: SimulationSession | None = None,
+) -> list[SimulationResult]:
+    """Run *items* serially or across a process pool; results in item order.
+
+    ``jobs`` follows :func:`resolve_jobs`.  The pool never exceeds the
+    item count.  With ``jobs <= 1`` every item runs in this process,
+    preferring *session* (the caller's cached fabric) for items that
+    match its configuration.
+    """
+    items = list(items)
+    for item in items:
+        require(isinstance(item, SimWorkItem), "items must be SimWorkItem instances")
+    n_jobs = min(resolve_jobs(jobs), len(items))
+    if n_jobs <= 1:
+        if session is None:
+            return [run_work_item(item) for item in items]
+        key = (session.system_config, session.message, session.options)
+        return [
+            _run_on(session, item)
+            if (item.system, item.message, item.options) == key
+            else run_work_item(item)
+            for item in items
+        ]
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(run_work_item, items))

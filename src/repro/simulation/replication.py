@@ -4,10 +4,17 @@ One simulation run gives a point estimate; the paper's methodology (and
 any defensible validation) wants replication.  :func:`replicate` runs the
 same configuration under independent seeds and returns the across-replica
 mean latency with a Student-t confidence interval.
+
+Replica seeds are spawned from the base seed via
+:func:`repro.simulation.rng.replica_seeds` (``SeedSequence.spawn``, never
+``base_seed + i`` arithmetic), and each replica is an independent pure
+function of its seed — so ``jobs=k`` fans the replicas across a process
+pool with results bit-identical to the serial path for any ``k``.
 """
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
 import numpy as np
@@ -15,6 +22,8 @@ from scipy import stats as _stats
 
 from repro._util import require
 from repro.simulation.metrics import MeasurementWindow
+from repro.simulation.parallel import SimWorkItem, resolve_jobs, run_work_items
+from repro.simulation.rng import replica_seeds
 from repro.simulation.runner import SimulationResult, SimulationSession
 
 __all__ = ["ReplicatedResult", "replicate"]
@@ -22,13 +31,25 @@ __all__ = ["ReplicatedResult", "replicate"]
 
 @dataclass(frozen=True)
 class ReplicatedResult:
-    """Across-seed summary of one simulated operating point."""
+    """Across-seed summary of one simulated operating point.
+
+    ``events`` is the total event count across replicas; ``wall_seconds``
+    is the *maximum* single-replica wall time (the critical path under
+    parallel execution — summing would double-count concurrent work);
+    ``elapsed_seconds`` is the observed end-to-end time of the whole
+    replication call, so ``events_per_second`` reports the effective
+    throughput actually achieved (serial or parallel).
+    """
 
     generation_rate: float
     replicas: tuple[SimulationResult, ...]
     mean_latency: float
     ci_half_width: float
     confidence: float
+    events: int = 0
+    wall_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
 
     @property
     def ci_low(self) -> float:
@@ -47,6 +68,16 @@ class ReplicatedResult:
         """CI half-width as a fraction of the mean (precision of the run)."""
         return self.ci_half_width / self.mean_latency if self.mean_latency else float("nan")
 
+    @property
+    def events_per_second(self) -> float:
+        """Effective simulator throughput of the whole replication call."""
+        return self.events / self.elapsed_seconds if self.elapsed_seconds > 0 else float("nan")
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        """The per-replica seeds actually used (spawned, not base+i)."""
+        return tuple(r.seed for r in self.replicas)
+
 
 def replicate(
     session: SimulationSession,
@@ -56,19 +87,46 @@ def replicate(
     base_seed: int = 0,
     window: MeasurementWindow | None = None,
     confidence: float = 0.95,
+    jobs: "int | str | None" = None,
     **run_kwargs,
 ) -> ReplicatedResult:
     """Run *replicas* independent simulations and summarise the latency.
 
-    Seeds are ``base_seed + i``; all other run parameters are forwarded to
-    :meth:`SimulationSession.run`.
+    Per-replica seeds are spawned from *base_seed* (see
+    :func:`~repro.simulation.rng.replica_seeds`); all other run parameters
+    are forwarded to :meth:`SimulationSession.run`.  ``jobs`` fans the
+    replicas across a process pool (``0``/``"auto"`` = one worker per
+    CPU); results are bit-identical to serial execution for any worker
+    count because each replica depends only on its own seed.
     """
     require(replicas >= 2, "at least two replicas are needed for a CI")
     require(0.0 < confidence < 1.0, "confidence must be in (0, 1)")
-    results = tuple(
-        session.run(generation_rate, seed=base_seed + i, window=window, **run_kwargs)
-        for i in range(replicas)
-    )
+    seeds = replica_seeds(base_seed, replicas)
+    window = window or MeasurementWindow.scaled_paper(20_000)
+    # Cap at the replica count so the recorded jobs reflects the workers
+    # that could actually run (run_work_items applies the same cap).
+    n_jobs = min(resolve_jobs(jobs), replicas)
+    start = _time.perf_counter()
+    if n_jobs > 1:
+        items = [
+            SimWorkItem(
+                system=session.system_config,
+                message=session.message,
+                options=session.options,
+                generation_rate=generation_rate,
+                seed=seed,
+                window=window,
+                **run_kwargs,
+            )
+            for seed in seeds
+        ]
+        results = tuple(run_work_items(items, jobs=n_jobs))
+    else:
+        results = tuple(
+            session.run(generation_rate, seed=seed, window=window, **run_kwargs)
+            for seed in seeds
+        )
+    elapsed = _time.perf_counter() - start
     means = np.array([r.mean_latency for r in results], dtype=np.float64)
     mean = float(means.mean())
     sem = float(means.std(ddof=1) / np.sqrt(replicas))
@@ -79,4 +137,8 @@ def replicate(
         mean_latency=mean,
         ci_half_width=t_crit * sem,
         confidence=confidence,
+        events=sum(r.events for r in results),
+        wall_seconds=max(r.wall_seconds for r in results),
+        elapsed_seconds=elapsed,
+        jobs=n_jobs,
     )

@@ -14,7 +14,7 @@ from repro.cluster.system import HeterogeneousSystem
 from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
 from repro.simulation.fabric import ResolvedFabric
 from repro.simulation.metrics import LatencyStats, MeasurementWindow
-from repro.simulation.rng import make_streams
+from repro.simulation.rng import ReplayableDraws, make_streams
 from repro.simulation.traffic import SimTrafficPattern
 from repro.simulation.wormhole import MessageLevelWormholeSimulator, RawRunResult
 
@@ -80,6 +80,13 @@ class SimulationSession:
         self.options = options or ModelOptions()
         self.system = HeterogeneousSystem(system)
         self.fabric = ResolvedFabric(self.system, message, self.options)
+        # Per-seed draw caches: repeated load points of one session replay
+        # the batched arrival/destination arrays instead of re-drawing them
+        # (bit-identical either way — see rng.ReplayableDraws).  Bounded so
+        # a long-lived session sweeping many seeds cannot accumulate one
+        # cache entry (~0.5 MB at the default window) per seed forever.
+        self._draws: dict[int, ReplayableDraws] = {}
+        self._draws_max = 8
 
     def run(
         self,
@@ -98,6 +105,11 @@ class SimulationSession:
         window = window or MeasurementWindow.scaled_paper(20_000)
         streams = make_streams(seed)
         if granularity == "message":
+            draws = self._draws.get(seed)
+            if draws is None:
+                if len(self._draws) >= self._draws_max:
+                    self._draws.pop(next(iter(self._draws)))
+                draws = self._draws[seed] = ReplayableDraws(seed)
             engine = MessageLevelWormholeSimulator(
                 self.fabric,
                 window,
@@ -106,6 +118,7 @@ class SimulationSession:
                 pattern,
                 ideal_sinks=ideal_sinks,
                 cd_mode=cd_mode,
+                draws=draws,
             )
         else:
             from repro.simulation.flitsim import FlitLevelSimulator

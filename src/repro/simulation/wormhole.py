@@ -21,6 +21,33 @@ Inter-cluster journeys consist of three such segments glued by
 store-and-forward concentrator/dispatcher buffers: the next segment's
 first channel is requested only after full delivery into the buffer, and
 that injection channel's FIFO is exactly the Eq. 37 queue.
+
+Hot-path design
+---------------
+Validation wall-clock is dominated by this event loop, so it is written
+for CPython throughput rather than for symmetry with the flit engine:
+
+* one monolithic :meth:`~MessageLevelWormholeSimulator.run` loop with
+  every piece of mutable state bound to locals (heap ops included) and
+  the request/grant logic inlined at each call site;
+* events are plain ``(time, tag, payload)`` tuples — the kind lives in the
+  low bits of the monotone tie-break tag — and in-flight messages are plain
+  list records (list indexing beats both ``__slots__`` attribute access and
+  dict lookups by message id — the message object itself rides in the event
+  tuple, so there is no id table at all);
+* paths come from :meth:`ResolvedFabric.resolve_runtime` as pre-resolved
+  per-segment tuples ``(channel_ids, hold_times, τ*, drain, last)`` with
+  the ``M·τ_k`` / ``(M−1)·τ*`` products folded in at resolve time;
+* arrival gaps and uniform destination draws are pre-generated in one
+  batched numpy call each (bit-identical to the historical scalar draws,
+  because numpy's ``Generator`` streams the same values either way) and
+  can be replayed from a session-level
+  :class:`~repro.simulation.rng.ReplayableDraws` cache so repeated load
+  points of one session skip the RNG work entirely.
+
+Every optimisation preserves the event order (same push sequence, same
+tie-break counter) and the RNG consumption order, so results are
+bit-identical to the pre-optimisation engine for any seed.
 """
 
 from __future__ import annotations
@@ -28,35 +55,20 @@ from __future__ import annotations
 import time as _time
 from collections import deque
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heappop, heappush, heapreplace
 
-from repro._util import require
+from repro._util import require, require_positive
 from repro.simulation.fabric import GROUPS, ResolvedFabric
 from repro.simulation.metrics import LatencyCollector, LatencyStats, MeasurementWindow
-from repro.simulation.rng import SimulationStreams
-from repro.simulation.traffic import PoissonArrivals, SimTrafficPattern, UniformDestinations
+from repro.simulation.rng import ReplayableDraws, SimulationStreams
+from repro.simulation.traffic import SimTrafficPattern, UniformDestinations
 
 __all__ = ["RawRunResult", "MessageLevelWormholeSimulator"]
 
 _GEN, _HDR, _REL, _DEL = 0, 1, 2, 3
 
-
-class _Message:
-    """In-flight message state (mutable, slot-optimised)."""
-
-    __slots__ = ("seq", "source", "destination", "path", "seg", "k", "grants", "gen_time", "request_time", "measured")
-
-    def __init__(self, seq, source, destination, path, gen_time, measured):
-        self.seq = seq
-        self.source = source
-        self.destination = destination
-        self.path = path
-        self.seg = 0
-        self.k = 0
-        self.grants: list[float] = []
-        self.gen_time = gen_time
-        self.request_time = gen_time
-        self.measured = measured
+# In-flight message record layout (plain list, see module docstring).
+_SEQ, _SRC, _PATH, _NSEG, _SEG, _CUR, _K, _GRANTS, _GEN_T, _REQ_T, _MEAS = range(11)
 
 
 @dataclass(frozen=True)
@@ -105,6 +117,12 @@ class MessageLevelWormholeSimulator:
         concentrator before re-injection — physically conservative (full
         flit causality across segments) but it triple-serialises the
         message; kept for the ablation bench.
+    draws:
+        optional :class:`~repro.simulation.rng.ReplayableDraws` cache for
+        this run's seed.  When given, the pre-generated arrival/destination
+        arrays are replayed from it instead of re-drawn, so repeated load
+        points of one session skip RNG setup; results are bit-identical
+        either way.
     """
 
     def __init__(
@@ -117,38 +135,37 @@ class MessageLevelWormholeSimulator:
         *,
         ideal_sinks: bool = False,
         cd_mode: str = "paper",
+        draws: ReplayableDraws | None = None,
     ) -> None:
         require(cd_mode in ("paper", "store_and_forward"), f"unknown cd_mode {cd_mode!r}")
         self.cd_mode = cd_mode
         require(fabric.system.total_nodes >= 2, "simulation needs at least two nodes")
+        require_positive(generation_rate, "generation_rate")
         self.fabric = fabric
         self.window = window
         self.pattern = pattern or UniformDestinations()
         self.streams = streams
-        self.arrivals = PoissonArrivals(generation_rate, streams.arrivals)
+        self.generation_rate = generation_rate
         self.ideal_sinks = ideal_sinks
-        self.m_flits = fabric.message.length_flits
 
         n_ch = fabric.num_channels
         self._flit_time = fabric.flit_time.tolist()
-        uncontended = fabric.ejection.copy() if ideal_sinks else [False] * n_ch
-        if cd_mode == "paper":
-            # Concentrator ingress buffers accept interleaved flits (the
-            # model's "always able to receive" sink assumption, Eq. 29).
-            uncontended = [u or cd for u, cd in zip(uncontended, fabric.cd_reception)]
-        self._uncontended = uncontended
-        self._holder = [-1] * n_ch
+        # Concentrator ingress buffers accept interleaved flits under
+        # cd_mode="paper" (the model's "always able to receive" sink
+        # assumption, Eq. 29); ideal sinks add the ejection links.
+        self._uncontended = fabric.uncontended_flags(ideal_sinks=ideal_sinks, cd_mode=cd_mode)
+        # Per-channel occupancy: holder (0/1) + queued waiters, one int so
+        # the request fast path reads a single list cell.
+        self._occupancy = [0] * n_ch
         self._waiters: list[deque] = [deque() for _ in range(n_ch)]
         self._last_grant = [0.0] * n_ch
         self._busy = [0.0] * len(GROUPS)
         self._group = fabric.group.tolist()
+        self._cluster_index = fabric.cluster_index
 
         self.collector = LatencyCollector(window)
         self._heap: list = []
-        self._eseq = 0
-        self._messages: dict[int, _Message] = {}
         self._generated = 0
-        self._next_msg_id = 0
         self._events = 0
         self._now = 0.0
         self._source_wait_sum = 0.0
@@ -156,156 +173,297 @@ class MessageLevelWormholeSimulator:
         self._cd_wait_sum = 0.0
         self._cd_wait_n = 0
 
-    # -- event plumbing -----------------------------------------------------------
-
-    def _push(self, t: float, kind: int, payload: int) -> None:
-        self._eseq += 1
-        heappush(self._heap, (t, self._eseq, kind, payload))
+        # Pre-generated stochastic streams (see module docstring).  Arrival
+        # draw i is consumed exactly where the scalar engine drew it: the
+        # first N entries seed each node's first arrival, entry N+s is the
+        # gap scheduled by generation s.  Destination draw s belongs to
+        # generation s.  Python lists, so the heap holds plain floats.
+        n_nodes = fabric.system.total_nodes
+        need = n_nodes + window.total
+        unit = draws.unit_arrivals(need) if draws is not None else streams.arrivals.standard_exponential(need)
+        self._arrival_gaps = (unit * (1.0 / generation_rate)).tolist()
+        if type(self.pattern) is UniformDestinations:
+            if draws is not None:
+                raw = draws.destinations(window.total, n_nodes - 1)
+            else:
+                raw = streams.destinations.integers(0, n_nodes - 1, size=window.total)
+            self._dest_draws: "list[int] | None" = raw.tolist()
+        else:
+            self._dest_draws = None
 
     # -- run loop -------------------------------------------------------------------
 
     def run(self, *, max_events: int = 500_000_000) -> RawRunResult:
         """Run until every measured message is delivered (or event budget)."""
         wall_start = _time.perf_counter()
-        for node in self.fabric.system.global_ids():
-            self._push(self.arrivals.first_arrival(), _GEN, node)
+
+        window = self.window
+        total_budget = window.total
+        warmup = window.warmup
+        measured_end = warmup + window.measured
+        measured_target = window.measured
 
         heap = self._heap
+        push = heappush
+        pop = heappop
+        flit_time = self._flit_time
+        uncontended = self._uncontended
+        occupancy = self._occupancy
+        waiters = self._waiters
+        last_grant = self._last_grant
+        busy = self._busy
+        group = self._group
+        cluster_index = self._cluster_index
+        paths = self.fabric.hot_resolver(ideal_sinks=self.ideal_sinks, cd_mode=self.cd_mode)
+        collector = self.collector
+        lat_append = collector._latencies.append
+        inter_append = collector._is_inter.append
+        src_append = collector._src_clusters.append
+        cd_paper = self.cd_mode == "paper"
+        arr = self._arrival_gaps
+        dest_draws = self._dest_draws
+        system = self.fabric.system
+        n_nodes = system.total_nodes
+        arr_gen = arr[n_nodes:]  # gap i belongs to generation i
+        pattern_sample = None if dest_draws is not None else self.pattern.sample_destination
+        dest_rng = self.streams.destinations
+
+        # Events are 3-tuples ``(time, tag, payload)`` with the kind packed
+        # into the low bits of the tie-break tag (eseq advances in steps of
+        # 4, so ``tag = eseq | kind`` stays monotone in push order and
+        # same-time events resolve exactly as they were scheduled).
+        #
+        # Two heaps: arrival (_GEN) events — one permanently pending per
+        # node — live in their own heap, keeping the main heap shallow for
+        # the ~95% of events that are channel traffic; the strict
+        # lexicographic merge of the two heads reproduces the single-heap
+        # pop order bit for bit, and a generation replaces its own arrival
+        # in place (one sift instead of a pop + push).
+        eseq = 0
+        events = 0
+        generated = 0
+        t = 0.0
+        delivered = 0
         completed = False
-        while heap:
-            t, _, kind, payload = heappop(heap)
-            self._now = t
-            self._events += 1
-            if kind == _HDR:
-                self._on_header(t, payload)
-            elif kind == _REL:
-                self._on_release(t, payload)
-            elif kind == _DEL:
-                self._on_delivery(t, payload)
-                if self.collector.all_measured_delivered:
-                    completed = True
-                    break
+        source_wait_sum = 0.0
+        source_wait_n = 0
+        cd_wait_sum = 0.0
+        cd_wait_n = 0
+
+        arr_heap: list = []
+        for node in system.global_ids():
+            eseq += 4
+            arr_heap.append((arr[node], eseq, node))
+        arr_heap.sort()  # already heap-shaped either way; sort is cheap and exact
+
+        while True:
+            if arr_heap:
+                head = arr_heap[0]
+                if heap and heap[0] < head:
+                    t, tag, payload = pop(heap)
+                    is_arrival = False
+                else:
+                    t, tag, payload = head
+                    is_arrival = True
+            elif heap:
+                t, tag, payload = pop(heap)
+                is_arrival = False
             else:
-                self._on_generate(t, payload)
-            if self._events >= max_events:
                 break
+            events += 1
+            if is_arrival:
+                if generated < total_budget:
+                    seq = generated
+                    generated += 1
+                    node = payload
+                    if dest_draws is not None:
+                        draw = dest_draws[seq]
+                        destination = draw + 1 if draw >= node else draw
+                    else:
+                        destination = pattern_sample(dest_rng, system, node)
+                    path = paths(node, destination)
+                    measured = warmup <= seq < measured_end
+                    grants = []
+                    seg = path[0]
+                    msg = [seq, node, path, len(path), 0, seg, 0, grants, t, t, measured]
+                    cid = seg[0][0]
+                    if uncontended[cid]:
+                        if measured:
+                            source_wait_n += 1  # zero wait on the source queue
+                        grants.append(t)
+                        eseq += 4
+                        push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                    elif not occupancy[cid]:
+                        if measured:
+                            source_wait_n += 1
+                        grants.append(t)
+                        occupancy[cid] = 1
+                        last_grant[cid] = t
+                        eseq += 4
+                        push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                    else:
+                        waiters[cid].append(msg)
+                        occupancy[cid] += 1
+                    eseq += 4
+                    heapreplace(arr_heap, (t + arr_gen[seq], eseq, node))
+                else:
+                    # Budget exhausted: no new traffic, no rescheduling.
+                    pop(arr_heap)
+                if events >= max_events:
+                    break
+                continue
+            kind = tag & 3
+            if kind == _HDR:
+                msg = payload
+                seg = msg[_CUR]
+                k = msg[_K]
+                if k < seg[4]:
+                    k += 1
+                    msg[_K] = k
+                    cid = seg[0][k]
+                    # Mid-segment advance: grants is never empty here, so no
+                    # queue-wait statistics at this site.
+                    if uncontended[cid]:
+                        msg[_GRANTS].append(t)
+                        eseq += 4
+                        push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                    elif not occupancy[cid]:
+                        msg[_GRANTS].append(t)
+                        occupancy[cid] = 1
+                        last_grant[cid] = t
+                        eseq += 4
+                        push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                    else:
+                        waiters[cid].append(msg)
+                        occupancy[cid] += 1
+                else:
+                    # Header reached the segment sink: schedule drain/releases
+                    # for the contended channels (rel_items pre-folds the
+                    # release arithmetic and skips uncontended links).
+                    grants = msg[_GRANTS]
+                    t_del = t + seg[3]
+                    for kk, cid, hold_kk, off in seg[5]:
+                        release = grants[kk] + hold_kk
+                        drain = t_del - off
+                        eseq += 4
+                        push(heap, (release if release > drain else drain, eseq | _REL, cid))
+                    seg_i = msg[_SEG]
+                    if cd_paper and seg_i + 1 < msg[_NSEG]:
+                        # Cut-through: the header enters the concentrator/
+                        # dispatcher and immediately requests the next
+                        # segment's injection channel; the segment just
+                        # finished drains independently behind it.
+                        seg = msg[_PATH][seg_i + 1]
+                        msg[_SEG] = seg_i + 1
+                        msg[_CUR] = seg
+                        msg[_K] = 0
+                        msg[_GRANTS] = grants = []
+                        msg[_REQ_T] = t
+                        cid = seg[0][0]
+                        if uncontended[cid]:
+                            if msg[_MEAS]:
+                                cd_wait_n += 1  # zero wait on the c/d queue
+                            grants.append(t)
+                            eseq += 4
+                            push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                        elif not occupancy[cid]:
+                            if msg[_MEAS]:
+                                cd_wait_n += 1
+                            grants.append(t)
+                            occupancy[cid] = 1
+                            last_grant[cid] = t
+                            eseq += 4
+                            push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                        else:
+                            waiters[cid].append(msg)
+                            occupancy[cid] += 1
+                    else:
+                        eseq += 4
+                        push(heap, (t_del, eseq | _DEL, msg))
+            elif kind == _REL:
+                cid = payload
+                busy[group[cid]] += t - last_grant[cid]
+                remaining = occupancy[cid] - 1
+                occupancy[cid] = remaining
+                if remaining:
+                    msg = waiters[cid].popleft()
+                    last_grant[cid] = t
+                    grants = msg[_GRANTS]
+                    if not grants and msg[_MEAS]:
+                        # First channel of a segment: queue-wait statistics.
+                        wait = t - msg[_REQ_T]
+                        if msg[_SEG] == 0:
+                            source_wait_sum += wait
+                            source_wait_n += 1
+                        else:
+                            cd_wait_sum += wait
+                            cd_wait_n += 1
+                    grants.append(t)
+                    eseq += 4
+                    push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+            else:  # _DEL
+                msg = payload
+                seg_i = msg[_SEG]
+                if seg_i + 1 < msg[_NSEG]:
+                    # Store-and-forward at the concentrator/dispatcher buffer.
+                    seg = msg[_PATH][seg_i + 1]
+                    msg[_SEG] = seg_i + 1
+                    msg[_CUR] = seg
+                    msg[_K] = 0
+                    msg[_GRANTS] = grants = []
+                    msg[_REQ_T] = t
+                    cid = seg[0][0]
+                    if uncontended[cid]:
+                        if msg[_MEAS]:
+                            cd_wait_n += 1
+                        grants.append(t)
+                        eseq += 4
+                        push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                    elif not occupancy[cid]:
+                        if msg[_MEAS]:
+                            cd_wait_n += 1
+                        grants.append(t)
+                        occupancy[cid] = 1
+                        last_grant[cid] = t
+                        eseq += 4
+                        push(heap, (t + flit_time[cid], eseq | _HDR, msg))
+                    else:
+                        waiters[cid].append(msg)
+                        occupancy[cid] += 1
+                elif msg[_MEAS]:
+                    # Measured delivery (the LatencyCollector.record fast
+                    # path: the window check is the _MEAS flag itself).
+                    lat_append(t - msg[_GEN_T])
+                    inter_append(msg[_NSEG] > 1)
+                    src_append(cluster_index[msg[_SRC]])
+                    delivered += 1
+                    if delivered >= measured_target:
+                        completed = True
+                        break
+            if events >= max_events:
+                break
+
+        collector.delivered_measured = delivered
+        self._events = events
+        self._generated = generated
+        self._now = t
+        self._source_wait_sum = source_wait_sum
+        self._source_wait_n = source_wait_n
+        self._cd_wait_sum = cd_wait_sum
+        self._cd_wait_n = cd_wait_n
+
         wall = _time.perf_counter() - wall_start
         stats = self.collector.stats()
-        busy = {name: self._busy[i] for i, name in enumerate(GROUPS)}
+        busy_by_group = {name: busy[i] for i, name in enumerate(GROUPS)}
         return RawRunResult(
             stats=stats,
             per_cluster_means=self.collector.per_cluster_means(),
-            duration=self._now,
-            events=self._events,
+            duration=t,
+            events=events,
             completed=completed,
-            generated=self._generated,
-            source_wait_mean=self._source_wait_sum / self._source_wait_n if self._source_wait_n else float("nan"),
-            concentrator_wait_mean=self._cd_wait_sum / self._cd_wait_n if self._cd_wait_n else float("nan"),
-            busy_time_by_group=busy,
+            generated=generated,
+            source_wait_mean=source_wait_sum / source_wait_n if source_wait_n else float("nan"),
+            concentrator_wait_mean=cd_wait_sum / cd_wait_n if cd_wait_n else float("nan"),
+            busy_time_by_group=busy_by_group,
             wall_seconds=wall,
         )
-
-    # -- handlers ----------------------------------------------------------------------
-
-    def _on_generate(self, t: float, node: int) -> None:
-        if self._generated >= self.window.total:
-            return  # budget exhausted: no new traffic, no rescheduling
-        seq = self._generated
-        self._generated += 1
-        destination = self.pattern.sample_destination(self.streams.destinations, self.fabric.system, node)
-        path = self.fabric.resolve(node, destination)
-        msg = _Message(seq, node, destination, path, t, self.window.is_measured(seq))
-        mid = self._next_msg_id
-        self._next_msg_id += 1
-        self._messages[mid] = msg
-        self._request(path[0].channel_ids[0], mid, t)
-        self._push(self.arrivals.next_arrival(t), _GEN, node)
-
-    def _request(self, cid: int, mid: int, t: float) -> None:
-        if self._uncontended[cid]:
-            self._grant(cid, mid, t, contended=False)
-        elif self._holder[cid] < 0 and not self._waiters[cid]:
-            self._grant(cid, mid, t, contended=True)
-        else:
-            self._waiters[cid].append(mid)
-
-    def _grant(self, cid: int, mid: int, t: float, *, contended: bool) -> None:
-        msg = self._messages[mid]
-        if not msg.grants:  # first channel of a segment: queue-wait statistics
-            if msg.measured:
-                wait = t - msg.request_time
-                if msg.seg == 0:
-                    self._source_wait_sum += wait
-                    self._source_wait_n += 1
-                else:
-                    self._cd_wait_sum += wait
-                    self._cd_wait_n += 1
-        msg.grants.append(t)
-        if contended:
-            self._holder[cid] = mid
-            self._last_grant[cid] = t
-        self._push(t + self._flit_time[cid], _HDR, mid)
-
-    def _on_header(self, t: float, mid: int) -> None:
-        msg = self._messages[mid]
-        segment = msg.path[msg.seg]
-        cids = segment.channel_ids
-        k = msg.k
-        if k + 1 < len(cids):
-            msg.k = k + 1
-            self._request(cids[k + 1], mid, t)
-            return
-        # Header reached the segment sink: schedule drain and releases.
-        m_flits = self.m_flits
-        tau_max = segment.bottleneck_flit_time
-        t_del = t + (m_flits - 1) * tau_max
-        grants = msg.grants
-        last = len(cids) - 1
-        flit_time = self._flit_time
-        for kk, cid in enumerate(cids):
-            if self._uncontended[cid]:
-                continue
-            release = grants[kk] + m_flits * flit_time[cid]
-            drain = t_del - (last - kk) * tau_max
-            self._push(release if release > drain else drain, _REL, cid)
-        if msg.seg + 1 < len(msg.path) and self.cd_mode == "paper":
-            # Cut-through: the header enters the concentrator/dispatcher and
-            # immediately requests the next segment's injection channel; the
-            # segment just finished drains independently behind it.
-            msg.seg += 1
-            msg.k = 0
-            msg.grants = []
-            msg.request_time = t
-            self._request(msg.path[msg.seg].channel_ids[0], mid, t)
-        else:
-            self._push(t_del, _DEL, mid)
-
-    def _on_release(self, t: float, cid: int) -> None:
-        group = self._group[cid]
-        self._busy[group] += t - self._last_grant[cid]
-        waiters = self._waiters[cid]
-        if waiters:
-            nxt = waiters.popleft()
-            self._holder[cid] = -1
-            self._grant(cid, nxt, t, contended=True)
-        else:
-            self._holder[cid] = -1
-
-    def _on_delivery(self, t: float, mid: int) -> None:
-        msg = self._messages[mid]
-        if msg.seg + 1 < len(msg.path):
-            # Store-and-forward at the concentrator/dispatcher buffer.
-            msg.seg += 1
-            msg.k = 0
-            msg.grants = []
-            msg.request_time = t
-            self._request(msg.path[msg.seg].channel_ids[0], mid, t)
-            return
-        source_cluster = self.fabric.system.cluster_of(msg.source).index
-        self.collector.record(
-            msg.seq,
-            t - msg.gen_time,
-            inter_cluster=len(msg.path) > 1,
-            source_cluster=source_cluster,
-        )
-        del self._messages[mid]

@@ -17,6 +17,7 @@ from repro.core.model import AnalyticalModel
 from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
 from repro.core.sweep import find_saturation_load
 from repro.simulation.metrics import MeasurementWindow
+from repro.simulation.parallel import SimWorkItem, resolve_jobs, run_work_items
 from repro.simulation.runner import SimulationResult, SimulationSession
 
 __all__ = ["ValidationPoint", "ValidationCurve", "run_validation", "light_load_error"]
@@ -62,6 +63,21 @@ class ValidationCurve:
         """(load, model, sim, rel_error) rows for reporting."""
         return [(p.load, p.model_latency, p.sim_latency, p.relative_error) for p in self.points]
 
+    @property
+    def sim_events(self) -> int:
+        """Total simulator events across all points of the curve."""
+        return sum(r.events for r in self.sim_results)
+
+    @property
+    def sim_wall_seconds(self) -> float:
+        """Critical-path simulator wall time: the slowest single point.
+
+        Under parallel execution the points overlap, so the sum of
+        per-point walls overstates elapsed time; the max is the lower
+        bound any worker count must pay.
+        """
+        return max((r.wall_seconds for r in self.sim_results), default=0.0)
+
 
 def run_validation(
     system: SystemConfig,
@@ -75,24 +91,41 @@ def run_validation(
     options: ModelOptions | None = None,
     session: SimulationSession | None = None,
     pattern=None,
+    jobs: "int | str | None" = None,
 ) -> ValidationCurve:
     """Evaluate model and simulator at every load in *loads*.
 
     A non-uniform *pattern* (see :mod:`repro.workloads.patterns`) drives
     both sides of the comparison: the model's destination weighting and the
     simulator's destination sampling.
+
+    ``jobs`` fans the per-point simulations across a process pool
+    (``0``/``"auto"`` = one worker per CPU).  Point ``i`` keeps its
+    historical seed ``seed + i`` — the points are *different operating
+    conditions*, not replicas of one stream — so the curve is bit-identical
+    for any worker count.
     """
     loads = np.asarray(loads, dtype=np.float64)
     require(loads.ndim == 1 and loads.size > 0, "loads must be a non-empty 1-D sequence")
     model = AnalyticalModel(system, message, options, pattern)
     session = session or SimulationSession(system, message, options=options)
     window = window or MeasurementWindow.scaled_paper(20_000)
-    points = []
-    sim_results = []
-    for idx, lam in enumerate(loads):
-        sim = session.run(
-            float(lam), seed=seed + idx, window=window, granularity=granularity, pattern=pattern
+    items = [
+        SimWorkItem(
+            system=session.system_config,
+            message=session.message,
+            options=session.options,
+            generation_rate=float(lam),
+            seed=seed + idx,
+            window=window,
+            granularity=granularity,
+            pattern=pattern,
         )
+        for idx, lam in enumerate(loads)
+    ]
+    sim_results = run_work_items(items, jobs=resolve_jobs(jobs), session=session)
+    points = []
+    for lam, sim in zip(loads, sim_results):
         model_result = model.evaluate(float(lam))
         points.append(
             ValidationPoint(
@@ -103,7 +136,6 @@ def run_validation(
                 sim_completed=sim.completed,
             )
         )
-        sim_results.append(sim)
     return ValidationCurve(label=label or f"{system.name}", points=tuple(points), sim_results=tuple(sim_results))
 
 

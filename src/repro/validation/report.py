@@ -52,11 +52,14 @@ def reproduction_report(
     points_per_curve: int = 6,
     seed: int = 0,
     include_simulation: bool = True,
+    jobs: "int | str | None" = None,
 ) -> ReproductionReport:
     """Regenerate every table and figure of the paper's §4.
 
     ``messages_per_point`` scales the simulation protocol (paper: 100 000);
-    ``include_simulation=False`` produces a model-only report in seconds.
+    ``include_simulation=False`` produces a model-only report in seconds;
+    ``jobs`` fans each validation curve's simulations across a process pool
+    (``0``/``"auto"`` = one worker per CPU) without changing any number.
     """
     require_int(messages_per_point, "messages_per_point", minimum=100)
     require_int(points_per_curve, "points_per_curve", minimum=2)
@@ -87,6 +90,7 @@ def reproduction_report(
                     seed=seed,
                     window=window,
                     session=sessions[key],
+                    jobs=jobs,
                 )
                 blocks.append(format_validation_curve(curve, figure=figure.figure))
                 light_errors.append(abs(curve.points[0].relative_error))

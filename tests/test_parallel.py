@@ -1,0 +1,252 @@
+"""Parallel execution subsystem tests (simulation.parallel + fan-out paths).
+
+The contract under test: every fan-out level — replicas, load points,
+scenarios — produces results bit-identical to the serial path for any
+worker count, worker exceptions propagate, and the aggregate accounting
+(sum events / max wall) holds.  Pools here are small and the windows tiny,
+so the whole module stays test-suite-speed.
+"""
+
+import pytest
+
+from repro.simulation import (
+    MeasurementWindow,
+    SimWorkItem,
+    replicate,
+    resolve_jobs,
+    run_work_items,
+)
+from repro.validation.compare import run_validation
+
+WINDOW = MeasurementWindow(50, 400, 50)
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_auto_uses_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs("auto") == resolve_jobs(0)
+
+    def test_rejects_negative_and_bool(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+        with pytest.raises(ValueError):
+            resolve_jobs(True)
+        with pytest.raises(ValueError):
+            resolve_jobs(False)  # must not alias the 0 = "auto" spelling
+
+
+class TestRunWorkItems:
+    def _items(self, system, message, n=3):
+        return [
+            SimWorkItem(
+                system=system,
+                message=message,
+                generation_rate=1e-3,
+                seed=100 + i,
+                window=WINDOW,
+            )
+            for i in range(n)
+        ]
+
+    def test_serial_matches_session_runs(self, small_system, small_message, small_session):
+        items = self._items(small_system, small_message)
+        results = run_work_items(items, session=small_session)
+        for item, result in zip(items, results):
+            direct = small_session.run(item.generation_rate, seed=item.seed, window=item.window)
+            assert result.mean_latency == direct.mean_latency
+            assert result.events == direct.events
+
+    def test_pool_is_bit_identical_and_order_preserving(self, small_system, small_message):
+        items = self._items(small_system, small_message, n=4)
+        serial = run_work_items(items, jobs=1)
+        pooled = run_work_items(items, jobs=2)
+        assert [r.seed for r in pooled] == [item.seed for item in items]
+        assert [r.mean_latency for r in pooled] == [r.mean_latency for r in serial]
+        assert [r.events for r in pooled] == [r.events for r in serial]
+
+    def test_worker_count_invariance(self, small_system, small_message):
+        items = self._items(small_system, small_message, n=4)
+        by_jobs = {
+            jobs: [r.mean_latency for r in run_work_items(items, jobs=jobs)]
+            for jobs in (1, 2, 3)
+        }
+        assert by_jobs[1] == by_jobs[2] == by_jobs[3]
+
+    def test_worker_exception_propagates(self, small_system, small_message):
+        bad = SimWorkItem(
+            system=small_system,
+            message=small_message,
+            generation_rate=1e-3,
+            seed=0,
+            window=WINDOW,
+            cd_mode="not-a-mode",
+        )
+        good = self._items(small_system, small_message, n=1)[0]
+        with pytest.raises(ValueError, match="cd_mode"):
+            run_work_items([good, bad], jobs=2)
+        with pytest.raises(ValueError, match="cd_mode"):
+            run_work_items([good, bad], jobs=1)
+
+    def test_rejects_non_items(self):
+        with pytest.raises(ValueError):
+            run_work_items(["nope"])
+
+
+class TestParallelReplication:
+    def test_parallel_matches_serial_bit_for_bit(self, small_session):
+        serial = replicate(small_session, 1e-3, replicas=4, base_seed=0, window=WINDOW)
+        pooled = replicate(small_session, 1e-3, replicas=4, base_seed=0, window=WINDOW, jobs=2)
+        assert pooled.seeds == serial.seeds
+        assert [r.mean_latency for r in pooled.replicas] == [
+            r.mean_latency for r in serial.replicas
+        ]
+        assert pooled.mean_latency == serial.mean_latency
+        assert pooled.ci_half_width == serial.ci_half_width
+        assert pooled.events == serial.events
+        assert pooled.jobs == 2
+
+    def test_worker_count_invariance(self, small_session):
+        means = {
+            jobs: replicate(
+                small_session, 1e-3, replicas=4, base_seed=9, window=WINDOW, jobs=jobs
+            ).mean_latency
+            for jobs in (1, 2, 3)
+        }
+        assert len(set(means.values())) == 1
+
+    def test_jobs_recorded_capped_at_replicas(self, small_session):
+        rep = replicate(small_session, 1e-3, replicas=2, base_seed=0, window=WINDOW, jobs=8)
+        assert rep.jobs == 2
+
+    def test_run_kwargs_forwarded_to_workers(self, small_session):
+        serial = replicate(
+            small_session,
+            1e-3,
+            replicas=2,
+            base_seed=1,
+            window=WINDOW,
+            cd_mode="store_and_forward",
+        )
+        pooled = replicate(
+            small_session,
+            1e-3,
+            replicas=2,
+            base_seed=1,
+            window=WINDOW,
+            cd_mode="store_and_forward",
+            jobs=2,
+        )
+        assert [r.mean_latency for r in pooled.replicas] == [
+            r.mean_latency for r in serial.replicas
+        ]
+
+
+class TestParallelValidation:
+    def test_jobs_do_not_change_the_curve(self, small_system, small_message, small_session):
+        loads = [5e-4, 1e-3, 2e-3]
+        serial = run_validation(
+            small_system, small_message, loads, window=WINDOW, session=small_session
+        )
+        pooled = run_validation(small_system, small_message, loads, window=WINDOW, jobs=2)
+        assert [p.sim_latency for p in pooled.points] == [p.sim_latency for p in serial.points]
+        assert [p.model_latency for p in pooled.points] == [
+            p.model_latency for p in serial.points
+        ]
+
+    def test_throughput_aggregates(self, small_system, small_message, small_session):
+        curve = run_validation(
+            small_system, small_message, [5e-4, 1e-3], window=WINDOW, session=small_session
+        )
+        assert curve.sim_events == sum(r.events for r in curve.sim_results)
+        assert curve.sim_wall_seconds == max(r.wall_seconds for r in curve.sim_results)
+
+
+class TestSweepMany:
+    def _result(self, **kwargs):
+        from repro.experiments import Experiment
+
+        return Experiment.sweep_many(["544", "1120"], points=4, **kwargs)
+
+    def test_schema_is_stable(self):
+        result = self._result()
+        assert result.kind == "sweep_many"
+        assert result.scenario == "544,1120"
+        assert set(result.data.keys()) == {"scenarios", "jobs", "columns"}
+        assert set(result.data["columns"].keys()) == {"scenario", "load", "latency"}
+        lengths = {len(col) for col in result.data["columns"].values()}
+        assert lengths == {8}  # 2 scenarios x 4 points, long format
+        for row in result.data["scenarios"]:
+            assert set(row.keys()) == {
+                "scenario",
+                "total_nodes",
+                "loads",
+                "latencies",
+                "saturation_load",
+            }
+        assert {s["name"] for s in result.spec["scenarios"]} == {"544", "1120"}
+        assert result.to_dict()["schema"] == "repro.experiment/1"
+
+    def test_matches_single_scenario_sweep(self):
+        from repro.experiments import Experiment
+
+        result = self._result()
+        by_name = {row["scenario"]: row for row in result.data["scenarios"]}
+        for name in ("544", "1120"):
+            import dataclasses
+
+            spec = Experiment(name).spec
+            spec = dataclasses.replace(
+                spec, load_grid=dataclasses.replace(spec.load_grid, points=4)
+            )
+            single = Experiment(spec).sweep()
+            assert by_name[name]["loads"] == single.data["columns"]["load"]
+            assert by_name[name]["latencies"] == single.data["columns"]["latency"]
+
+    def test_jobs_do_not_change_results(self):
+        assert self._result(jobs=2).data["columns"] == self._result().data["columns"]
+
+    def test_rejects_duplicates_and_empty(self):
+        from repro.experiments import Experiment
+
+        with pytest.raises(ValueError, match="duplicate"):
+            Experiment.sweep_many(["544", "544"])
+        with pytest.raises(ValueError, match="at least one"):
+            Experiment.sweep_many([])
+
+
+class TestSessionDrawCacheReuse:
+    def test_repeated_load_points_replay_identically(self, small_session):
+        """The per-seed draw cache must not drift across runs of a session."""
+        first = small_session.run(1e-3, seed=41, window=WINDOW)
+        again = small_session.run(1e-3, seed=41, window=WINDOW)
+        other_load = small_session.run(2e-3, seed=41, window=WINDOW)
+        assert again.mean_latency == first.mean_latency
+        assert again.events == first.events
+        assert other_load.mean_latency != first.mean_latency
+
+    def test_cache_is_bounded_and_eviction_is_harmless(self, small_system, small_message):
+        from repro.simulation import SimulationSession
+
+        session = SimulationSession(small_system, small_message)
+        tiny = MeasurementWindow(10, 50, 10)
+        reference = session.run(1e-3, seed=0, window=tiny).mean_latency
+        for seed in range(1, 12):
+            session.run(1e-3, seed=seed, window=tiny)
+        assert len(session._draws) <= session._draws_max
+        # Seed 0's cache was evicted; a rebuild must reproduce the result.
+        assert session.run(1e-3, seed=0, window=tiny).mean_latency == reference
+
+    def test_cache_extension_matches_fresh_session(self, small_system, small_message):
+        """A short run then a longer run (cache growth) must equal a cold run."""
+        from repro.simulation import SimulationSession
+
+        warm = SimulationSession(small_system, small_message)
+        warm.run(1e-3, seed=5, window=MeasurementWindow(10, 50, 10))
+        grown = warm.run(1e-3, seed=5, window=WINDOW)
+        cold = SimulationSession(small_system, small_message).run(1e-3, seed=5, window=WINDOW)
+        assert grown.mean_latency == cold.mean_latency
+        assert grown.events == cold.events

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation import MeasurementWindow, replicate
+from repro.simulation import MeasurementWindow, replica_seeds, replicate
 
 
 class TestReplicate:
@@ -19,7 +19,7 @@ class TestReplicate:
         assert rep.ci_half_width > 0
         assert rep.ci_low < rep.mean_latency < rep.ci_high
 
-    def test_seeds_are_distinct(self, small_session):
+    def test_seeds_are_spawned_not_sequential(self, small_session):
         rep = replicate(
             small_session,
             1e-3,
@@ -27,9 +27,25 @@ class TestReplicate:
             base_seed=0,
             window=MeasurementWindow(50, 500, 50),
         )
-        seeds = {r.seed for r in rep.replicas}
-        assert seeds == {0, 1, 2}
+        assert rep.seeds == replica_seeds(0, 3)
+        # Never base_seed + i arithmetic: that aliases overlapping bases.
+        assert rep.seeds != (0, 1, 2)
+        assert len(set(rep.seeds)) == 3
         assert len({r.mean_latency for r in rep.replicas}) == 3
+
+    def test_overlapping_bases_share_no_replica_stream(self):
+        """The regression seed+i reintroduces: seeds(0)[1] == seeds(1)[0]."""
+        assert not set(replica_seeds(0, 4)) & set(replica_seeds(1, 4))
+        assert replica_seeds(7, 4) == replica_seeds(7, 4)  # deterministic
+
+    def test_throughput_accounting(self, small_session):
+        rep = replicate(
+            small_session, 1e-3, replicas=3, base_seed=0, window=MeasurementWindow(50, 400, 50)
+        )
+        assert rep.events == sum(r.events for r in rep.replicas)
+        assert rep.wall_seconds == max(r.wall_seconds for r in rep.replicas)
+        assert rep.elapsed_seconds >= rep.wall_seconds
+        assert rep.events_per_second > 0
 
     def test_more_messages_tighten_ci(self, small_session):
         small = replicate(
