@@ -1,0 +1,91 @@
+"""Performance — design-space exploration throughput (cells/second).
+
+The exploration subsystem's value proposition is that a grid cell — one
+full closed-form characterisation of a design (λ*, knee, binding
+resource) — costs milliseconds, so design studies scale to thousands of
+points.  This bench records cells/s for a 24-cell grid on the N=544
+system, serial and fanned out, plus the cache-hit replay rate, so future
+PRs can track regressions in the per-cell precompute or the fan-out
+overhead.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import explore_grid
+from repro.scenarios import AxisSpec, DesignGrid, get_scenario
+
+from benchmarks.conftest import emit
+
+
+def study_grid() -> DesignGrid:
+    """3 axes, 24 cells on the Table 1 N=544 organisation."""
+    return DesignGrid(
+        base=get_scenario("544"),
+        axes=(
+            AxisSpec("system.icn2.bandwidth", (250.0, 375.0, 500.0, 625.0)),
+            AxisSpec("message.length_flits", (16, 32, 64)),
+            AxisSpec("message.flit_bytes", (128.0, 256.0)),
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="performance")
+def test_explore_cells_per_second(benchmark, out_dir):
+    grid = study_grid()
+    result = benchmark.pedantic(lambda: explore_grid(grid), rounds=2, iterations=1)
+    cells = len(result.data["columns"]["cell"])
+    seconds = benchmark.stats.stats.min
+    rate = cells / seconds
+    assert cells == grid.size == 24
+    emit(
+        out_dir,
+        "explore_cells_per_second",
+        f"explore, N=544, {cells} cells (3 axes), serial: "
+        f"{seconds:.2f}s -> {rate:,.1f} cells/s",
+        payload={"cells": cells, "seconds": seconds, "cells_per_second": rate},
+    )
+
+
+@pytest.mark.benchmark(group="performance")
+def test_explore_parallel_and_cached_replay(benchmark, out_dir, tmp_path_factory):
+    """jobs=auto fan-out vs serial (same table bit-for-bit) and the
+    cache-served replay rate of a warmed grid."""
+    grid = study_grid()
+    cache = tmp_path_factory.mktemp("explore-cache")
+
+    t0 = time.perf_counter()
+    serial = explore_grid(grid)
+    serial_s = time.perf_counter() - t0
+
+    parallel = benchmark.pedantic(
+        lambda: explore_grid(grid, jobs=0, cache=cache), rounds=1, iterations=1
+    )
+    parallel_s = benchmark.stats.stats.min
+    assert parallel.data["columns"]["saturation_load"] == serial.data["columns"]["saturation_load"]
+
+    t0 = time.perf_counter()
+    cached = explore_grid(grid, cache=cache)
+    cached_s = time.perf_counter() - t0
+    assert cached.data["evaluated"] == 0 and cached.data["cached"] == grid.size
+    assert cached.data["columns"]["saturation_load"] == serial.data["columns"]["saturation_load"]
+
+    cells = grid.size
+    emit(
+        out_dir,
+        "explore_parallel_and_cached",
+        (
+            f"explore, N=544, {cells} cells: serial {cells / serial_s:,.1f} cells/s, "
+            f"jobs=auto {cells / parallel_s:,.1f} cells/s "
+            f"(speedup x{serial_s / parallel_s:.2f}), "
+            f"cache replay {cells / cached_s:,.1f} cells/s"
+        ),
+        payload={
+            "cells": cells,
+            "serial_cells_per_second": cells / serial_s,
+            "parallel_cells_per_second": cells / parallel_s,
+            "parallel_speedup": serial_s / parallel_s,
+            "cached_cells_per_second": cells / cached_s,
+        },
+    )

@@ -13,10 +13,13 @@ The package provides:
 * :mod:`repro.workloads` — uniform and non-uniform traffic patterns,
 * :mod:`repro.analysis` — bottleneck and what-if (Fig. 7) analyses,
 * :mod:`repro.scenarios` — declarative, JSON-round-trippable scenario
-  specs plus a registry of named configurations,
+  specs, a registry of named configurations, and multi-axis design grids
+  (:class:`~repro.scenarios.DesignGrid`),
 * :mod:`repro.experiments` — the :class:`Experiment` facade running every
-  workflow off one scenario spec,
-* :mod:`repro.io` — result persistence and ASCII reporting.
+  workflow off one scenario spec, including cached design-space
+  exploration (``Experiment.explore`` / ``explore_grid``),
+* :mod:`repro.io` — result persistence, a content-addressed on-disk
+  result cache, and ASCII reporting.
 
 Quickstart::
 

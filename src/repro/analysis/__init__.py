@@ -6,6 +6,13 @@ from repro.analysis.capacity import (
     max_load_for_latency,
     required_upgrade_factor,
 )
+from repro.analysis.frontier import (
+    AxisSensitivity,
+    axis_sensitivity,
+    bandwidth_cost_proxy,
+    pareto_frontier,
+    pareto_frontier_cells,
+)
 from repro.analysis.knee import KneeEstimate, estimate_sim_knee
 from repro.analysis.bottleneck import (
     BottleneckReport,
@@ -27,6 +34,11 @@ __all__ = [
     "max_load_for_latency",
     "required_upgrade_factor",
     "headroom_report",
+    "AxisSensitivity",
+    "axis_sensitivity",
+    "bandwidth_cost_proxy",
+    "pareto_frontier",
+    "pareto_frontier_cells",
     "KneeEstimate",
     "estimate_sim_knee",
     "BottleneckReport",

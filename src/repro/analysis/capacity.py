@@ -172,6 +172,23 @@ def headroom_report(
     operating_load: float,
     *,
     options: ModelOptions | None = None,
+    pattern=None,
+    engine: BatchedModel | None = None,
 ) -> BottleneckReport:
-    """Ranked utilisations at the operating point (thin bottleneck wrapper)."""
-    return model_bottlenecks(system, message, operating_load, options=options)
+    """Ranked utilisations at the operating point (thin bottleneck wrapper).
+
+    A non-uniform *pattern* (see :mod:`repro.workloads.patterns`) ranks the
+    pattern-aware utilisations — without it a hotspot operating point would
+    silently be ranked as uniform traffic.  Pass an existing *engine* to
+    reuse its precompute instead; its pattern must match when both are
+    given.
+    """
+    if engine is None:
+        if pattern is not None:
+            engine = BatchedModel(system, message, options, pattern)
+    else:
+        require(
+            pattern is None or engine.pattern == pattern,
+            "engine was built with a different traffic pattern than the report requests",
+        )
+    return model_bottlenecks(system, message, operating_load, options=options, engine=engine)

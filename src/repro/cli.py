@@ -31,15 +31,21 @@ Subcommands mirror the :class:`repro.experiments.Experiment` facade:
 ``validate``      model-vs-simulation comparison across a load grid.
 ``capacity``      max sustainable load under a latency budget.
 ``whatif``        base-vs-rescaled-network latency curves (Fig. 7 family).
+``explore``       design-space exploration: expand N parameter axes over the
+                  scenario (``--axis path=v1,v2,...`` or a ``--grid`` JSON
+                  file) and evaluate every cell through the closed forms;
+                  ``--frontier`` adds Pareto/sensitivity views, ``--cache``
+                  memoises cells on disk (see ``docs/design_space.md``).
 ``report``        regenerate the paper's full evaluation section.
 ``scenarios``     list registered scenarios, or show one as JSON.
 ``export-config`` print/save the resolved scenario as a JSON config file.
 
-``sweep``, ``validate`` and ``capacity`` accept ``--out <path>`` to persist
-the result as JSON or CSV (by extension) via :mod:`repro.io.results`.
-``simulate``, ``validate`` and ``report`` accept ``--jobs N`` to fan their
-simulations across a process pool (``--jobs 0`` = one worker per CPU);
-results are bit-identical for any worker count (see
+``sweep``, ``validate``, ``capacity`` and ``explore`` accept ``--out
+<path>`` to persist the result as JSON or CSV (by extension) via
+:mod:`repro.io.results`.  ``simulate``, ``validate`` and ``report`` accept
+``--jobs N`` to fan their simulations across a process pool (``--jobs 0``
+= one worker per CPU), and ``explore --jobs`` does the same for model
+cells; results are bit-identical for any worker count (see
 ``docs/parallel_validation.md``).
 """
 
@@ -155,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--messages", type=int, default=10_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--granularity",
+        choices=["message", "flit"],
+        default="message",
+        help="simulator granularity (flit = the slow reference engine)",
+    )
     jobs_flag(p)
     out_flag(p)
 
@@ -172,6 +184,45 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--role", choices=["icn1", "ecn1", "icn2"], default="icn2")
     p.add_argument("--factor", type=float, default=1.2, help="bandwidth scaling factor")
+    out_flag(p)
+
+    p = sub.add_parser(
+        "explore", help="multi-axis design-space exploration through the closed forms"
+    )
+    common(p)
+    p.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2,...",
+        help="one parameter axis: a dotted spec path and its values "
+        "(e.g. 'system.icn2.bandwidth=250,500,1000'); repeat for more axes",
+    )
+    p.add_argument(
+        "--grid",
+        default=None,
+        metavar="FILE",
+        help="DesignGrid JSON file (base spec + axes); conflicts with --axis "
+        "and the scenario selectors",
+    )
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="latency budget for the λ@budget metric (overrides the scenario's)",
+    )
+    p.add_argument(
+        "--frontier",
+        action="store_true",
+        help="append the Pareto frontier (cost proxy vs λ*) and axis sensitivity",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache directory (repeat runs re-evaluate nothing)",
+    )
+    jobs_flag(p)
     out_flag(p)
 
     p = sub.add_parser("report", help="regenerate the paper's full evaluation section")
@@ -370,7 +421,12 @@ def _cmd_validate(args) -> str:
     spec = resolve_spec(args)
     if args.points is None and spec.load_grid == LoadGridPolicy():
         spec = replace(spec, load_grid=replace(spec.load_grid, points=5))
-    result = Experiment(spec).validate(messages=args.messages, seed=args.seed, jobs=args.jobs)
+    result = Experiment(spec).validate(
+        messages=args.messages,
+        seed=args.seed,
+        granularity=args.granularity,
+        jobs=args.jobs,
+    )
     return result.text + _persist(result, args.out)
 
 
@@ -381,6 +437,49 @@ def _cmd_capacity(args) -> str:
 
 def _cmd_whatif(args) -> str:
     result = _experiment(args).whatif(role=args.role, factor=args.factor)
+    return result.text + _persist(result, args.out)
+
+
+def _parse_axis(text: str):
+    """``PATH=V1,V2,...`` -> an :class:`~repro.scenarios.AxisSpec`."""
+    from repro.scenarios import AxisSpec
+
+    require("=" in text, f"--axis expects PATH=V1,V2,..., got {text!r}")
+    path, _, values_text = text.partition("=")
+    values = tuple(_coerce_scalar(v.strip()) for v in values_text.split(",") if v.strip())
+    require(len(values) >= 1, f"--axis {path.strip()!r} got no values")
+    return AxisSpec(path=path.strip(), values=values)
+
+
+def _cmd_explore(args) -> str:
+    from repro.experiments.explore import explore_grid
+    from repro.scenarios import DesignGrid
+
+    if args.grid is not None:
+        require(
+            not args.axis,
+            "--grid carries its own axes and conflicts with --axis",
+        )
+        require(
+            not (args.config or args.scenario or args.system),
+            "--grid carries its own base spec and conflicts with --config/--scenario/--system",
+        )
+        require(
+            args.flits is None and args.flit_bytes is None and not args.option and args.pattern is None,
+            "--grid does not support --flits/--flit-bytes/--option/--pattern overrides",
+        )
+        grid = DesignGrid.load(args.grid)
+        if args.budget is not None:
+            grid = replace(grid, base=replace(grid.base, latency_budget=args.budget))
+    else:
+        require(len(args.axis) >= 1, "explore needs at least one --axis (or a --grid file)")
+        spec = resolve_spec(args)
+        if args.budget is not None:
+            spec = replace(spec, latency_budget=args.budget)
+        grid = DesignGrid(base=spec, axes=tuple(_parse_axis(a) for a in args.axis))
+    result = explore_grid(
+        grid, jobs=args.jobs, cache=args.cache, frontier=args.frontier
+    )
     return result.text + _persist(result, args.out)
 
 
@@ -434,6 +533,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "capacity": _cmd_capacity,
     "whatif": _cmd_whatif,
+    "explore": _cmd_explore,
     "report": _cmd_report,
     "scenarios": _cmd_scenarios,
     "export-config": _cmd_export_config,

@@ -74,7 +74,13 @@ from repro.core.stages import _LATENCY_CAP
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports batch)
     from repro.core.sweep import LoadSweep
 
-__all__ = ["BatchedModel", "ResourceRates", "refine_monotone_crossing"]
+__all__ = ["BatchedModel", "ENGINE_VERSION", "ResourceRates", "refine_monotone_crossing"]
+
+#: Version tag of the engine's numerics, embedded in on-disk cache keys
+#: (:mod:`repro.io.cache`).  Bump whenever a change alters any number the
+#: closed forms produce — saturation loads, latencies, resource rates —
+#: so stale cached results can never be mistaken for fresh ones.
+ENGINE_VERSION = "batch/1"
 
 
 def refine_monotone_crossing(

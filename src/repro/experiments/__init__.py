@@ -9,8 +9,25 @@ Quickstart::
     print(exp.saturation().text)      # λ* and the binding resource
     curve = exp.sweep()               # uniform ExperimentResult
     curve.to_dict()                   # stable JSON schema
+
+Design-space exploration (multi-axis grids through the closed forms)::
+
+    result = exp.explore(
+        [("system.icn2.bandwidth", [250.0, 500.0, 1000.0]),
+         ("message.length_flits", [32, 64])],
+        jobs=4, cache=".repro-cache", frontier=True,
+    )
+    result.data["columns"]            # long-format table, one row per cell
 """
 
 from repro.experiments.experiment import EXPERIMENT_SCHEMA, Experiment, ExperimentResult
+from repro.experiments.explore import EXPLORE_CELL_SCHEMA, cell_cache_key, explore_grid
 
-__all__ = ["Experiment", "ExperimentResult", "EXPERIMENT_SCHEMA"]
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "EXPERIMENT_SCHEMA",
+    "explore_grid",
+    "cell_cache_key",
+    "EXPLORE_CELL_SCHEMA",
+]

@@ -21,7 +21,6 @@ because each method delegates to those functions with the shared engine
 from __future__ import annotations
 
 import time as _time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -53,8 +52,12 @@ class ExperimentResult:
     scenario:
         the spec's name.
     spec:
-        the full serialised :class:`~repro.scenarios.ScenarioSpec`, so a
-        saved result is self-describing and reproducible.
+        the serialised input that reproduces the result: for single-
+        scenario workflows the full :class:`~repro.scenarios.ScenarioSpec`;
+        for the multi-spec kinds it is composite — ``sweep_many`` carries
+        ``{"scenarios": [spec, ...]}`` and ``explore`` the serialised
+        :class:`~repro.scenarios.DesignGrid` (schema ``repro.grid/1``) —
+        so every saved result stays self-describing.
     data:
         workflow-specific payload.  Curve-shaped results put their
         equal-length columns under ``data["columns"]`` (that is what CSV
@@ -558,6 +561,35 @@ class Experiment:
         }
         return self._result("validate", data, text)
 
+    def explore(
+        self,
+        axes,
+        *,
+        jobs: "int | str | None" = None,
+        cache=None,
+        frontier: bool = False,
+        knee_threshold_factor: float = 4.0,
+    ) -> ExperimentResult:
+        """Design-space exploration around this experiment's spec.
+
+        *axes* is a sequence of :class:`~repro.scenarios.AxisSpec` or
+        ``(dotted_path, values)`` pairs; the Cartesian product of derived
+        variants is evaluated through the batched closed forms (see
+        :func:`repro.experiments.explore_grid`, which this wraps with
+        ``self.spec`` as the grid base).
+        """
+        from repro.experiments.explore import explore_grid
+        from repro.scenarios.grid import DesignGrid, as_axis
+
+        grid = DesignGrid(base=self.spec, axes=tuple(as_axis(a) for a in axes))
+        return explore_grid(
+            grid,
+            jobs=jobs,
+            cache=cache,
+            frontier=frontier,
+            knee_threshold_factor=knee_threshold_factor,
+        )
+
     @classmethod
     def sweep_many(
         cls,
@@ -575,7 +607,7 @@ class Experiment:
         uniform long-format table (``scenario``/``load``/``latency``
         columns plus a per-scenario summary) with a stable schema.
         """
-        from repro.simulation.parallel import resolve_jobs
+        from repro.simulation.parallel import map_jobs, resolve_jobs
 
         specs = [get_scenario(s) if isinstance(s, str) else s for s in scenarios]
         require(len(specs) > 0, "sweep_many needs at least one scenario")
@@ -585,11 +617,7 @@ class Experiment:
         require(len(set(names)) == len(names), f"duplicate scenario names: {names}")
         payloads = [(spec.to_dict(), points) for spec in specs]
         n_jobs = min(resolve_jobs(jobs), len(payloads))
-        if n_jobs > 1:
-            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                rows = list(pool.map(_sweep_one, payloads))
-        else:
-            rows = [_sweep_one(p) for p in payloads]
+        rows = map_jobs(_sweep_one, payloads, jobs=n_jobs)
         scenario_col: list[str] = []
         load_col: list[float] = []
         latency_col: list[float] = []

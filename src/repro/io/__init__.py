@@ -1,5 +1,6 @@
-"""Result persistence and paper-style reporting."""
+"""Result persistence, content-addressed caching and paper-style reporting."""
 
+from repro.io.cache import ResultCache, content_key
 from repro.io.reporting import (
     format_table1,
     format_table2,
@@ -22,6 +23,8 @@ __all__ = [
     "load_json",
     "save_curve_csv",
     "load_curve_csv",
+    "ResultCache",
+    "content_key",
     "format_validation_curve",
     "format_whatif_study",
     "format_table1",

@@ -1,0 +1,102 @@
+"""Content-addressed on-disk result cache.
+
+Design-space exploration re-runs the same grid with more values per axis,
+more axes, or a different worker count; the expensive part — one
+load-independent model decomposition plus the closed-form saturation
+inversion per cell — is a pure function of the cell's spec.  This module
+memoises such results on disk:
+
+* :func:`content_key` — SHA-256 over the canonical JSON of an arbitrary
+  payload tree (``sort_keys`` + the library's non-finite float tagging),
+  so a key is stable across processes, worker counts and dict ordering;
+* :class:`ResultCache` — a two-level directory of ``<key>.json`` files
+  under one root, with atomic writes (temp file + ``os.replace``) so a
+  concurrent reader never sees a torn entry.
+
+Callers build keys from *all* numeric inputs — for exploration cells that
+is the serialised spec (minus its derived ``name``/``description``), the
+metric parameters and :data:`repro.core.batch.ENGINE_VERSION` — so a cache
+hit is bit-identical to a fresh evaluation by construction, and bumping
+the engine version orphans (rather than corrupts) old entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro._util import require
+from repro.io.results import load_json, to_jsonable
+
+__all__ = ["ResultCache", "content_key"]
+
+
+def content_key(payload) -> str:
+    """SHA-256 hex digest of *payload*'s canonical JSON form.
+
+    The payload goes through :func:`~repro.io.results.to_jsonable` first,
+    so dataclasses, numpy scalars and non-finite floats hash the same way
+    they serialise — two payloads share a key iff they would save as the
+    same JSON document.
+    """
+    canonical = json.dumps(
+        to_jsonable(payload), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed JSON results.
+
+    Entries are stored as ``<root>/<key[:2]>/<key>.json`` (the two-char
+    fan-out keeps directory listings manageable for large studies).  The
+    cache is append-only from the library's point of view; deleting the
+    root directory is the supported way to clear it.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        require(
+            isinstance(key, str) and len(key) >= 8 and all(c in "0123456789abcdef" for c in key),
+            f"cache key must be a hex digest, got {key!r}",
+        )
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def get(self, key: str):
+        """The payload stored under *key*, or ``None`` on a miss.
+
+        An unreadable or corrupt entry counts as a miss — exploration then
+        recomputes and overwrites it — rather than poisoning the run.
+        Corruption surfaces as ``OSError`` (unreadable), ``ValueError``
+        (bad JSON / bad encoding — ``JSONDecodeError`` and
+        ``UnicodeDecodeError`` both subclass it) or ``KeyError``
+        (a malformed non-finite-float tag in ``load_json``'s restore).
+        """
+        path = self._path(key)
+        try:
+            return load_json(path)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def put(self, key: str, payload) -> Path:
+        """Store *payload* under *key* atomically; returns the entry path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(to_jsonable(payload), indent=2, sort_keys=True) + "\n"
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk (walks the fan-out dirs)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -6,13 +6,24 @@
   families (scale-outs, a heterogeneity ladder, ICN2 bandwidth skews,
   message/traffic variants), see :mod:`repro.scenarios.registry`;
 * :func:`load_scenario` — resolve a name *or* a config-file path to a spec
-  (the CLI's ``--scenario``/``--config`` semantics).
+  (the CLI's ``--scenario``/``--config`` semantics);
+* :class:`AxisSpec`/:class:`DesignGrid` — multi-axis design grids over a
+  base spec (dotted-path parameter axes expanded to deterministic named
+  variants), see :mod:`repro.scenarios.grid`.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+from repro.scenarios.grid import (
+    GRID_SCHEMA,
+    AxisSpec,
+    DesignGrid,
+    GridCell,
+    as_axis,
+    format_axis_value,
+)
 from repro.scenarios.registry import (
     PAPER_PRESETS,
     get_scenario,
@@ -26,6 +37,12 @@ __all__ = [
     "ScenarioSpec",
     "LoadGridPolicy",
     "SCENARIO_SCHEMA",
+    "AxisSpec",
+    "DesignGrid",
+    "GridCell",
+    "GRID_SCHEMA",
+    "as_axis",
+    "format_axis_value",
     "register_scenario",
     "scenario_names",
     "get_scenario",

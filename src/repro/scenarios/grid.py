@@ -1,0 +1,274 @@
+"""Multi-axis design grids over scenario specs.
+
+The paper's purpose is *design-space exploration*: trading ICN1/ICN2
+bandwidth, cluster organisation and message geometry against saturation
+load.  This module provides the declarative layer for such studies:
+
+* :class:`AxisSpec` — one swept parameter, addressed by a dotted path into
+  the serialised :class:`~repro.scenarios.ScenarioSpec` tree (e.g.
+  ``"system.icn2.bandwidth"``, ``"message.length_flits"``,
+  ``"system.clusters.3.tree_depth"`` — integer segments index lists);
+* :class:`DesignGrid` — a base spec plus N axes, expanded to the Cartesian
+  product of derived scenario variants.
+
+Expansion is **deterministic**: cells are enumerated row-major (the last
+axis varies fastest) and each variant is named
+``<base>/<path>=<value>/...`` with one ``path=value`` segment per axis in
+axis order, so a cell's name is a pure function of the base name and its
+coordinates.  Every variant is rebuilt through
+:meth:`ScenarioSpec.from_dict`, so an axis value that produces an invalid
+system (e.g. a cluster count that is not an ICN2 tree population) fails at
+expansion time with the offending cell named.
+
+Grids serialise like specs (``grid == DesignGrid.from_dict(grid.to_dict())``)
+so a whole study is one JSON file (the CLI's ``explore --grid``).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro._util import reject_unknown_keys, require
+from repro.io.results import from_jsonable, load_json, save_json, to_jsonable
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["AxisSpec", "DesignGrid", "GridCell", "GRID_SCHEMA", "as_axis", "format_axis_value"]
+
+#: Schema tag written into every serialised grid (bump on breaking change).
+GRID_SCHEMA = "repro.grid/1"
+
+#: Spec sections an axis may traverse (naming/schema fields are derived).
+_AXIS_ROOTS = ("system", "message", "options", "pattern", "load_grid", "latency_budget")
+
+
+def format_axis_value(value) -> str:
+    """Canonical text of one axis value (used in cell names and tables).
+
+    Floats use ``repr`` so distinct values never collide in a name; integer
+    -valued floats drop the trailing ``.0`` for readability (``600.0`` and
+    ``600`` name the same cell only if they are the same axis value).
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isfinite(value) and value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _index(segment: str, path: str, length: int) -> int:
+    require(
+        segment.isdigit(),
+        f"axis path {path!r}: segment {segment!r} must be a list index (0..{length - 1})",
+    )
+    idx = int(segment)
+    require(idx < length, f"axis path {path!r}: index {idx} out of range (list has {length} items)")
+    return idx
+
+
+def _child(node, segment: str, path: str):
+    if isinstance(node, list):
+        return node[_index(segment, path, len(node))]
+    require(isinstance(node, dict), f"axis path {path!r}: {segment!r} reached a non-container value")
+    require(
+        segment in node,
+        f"axis path {path!r}: unknown key {segment!r}; available: {sorted(node)}",
+    )
+    return node[segment]
+
+
+def set_by_path(tree: dict, path: str, value) -> None:
+    """Set *value* at dotted *path* inside a ``ScenarioSpec.to_dict`` tree.
+
+    The path must address an **existing** leaf — creating new keys is
+    refused so a typo'd axis fails loudly here instead of (or in addition
+    to) tripping the spec deserialiser's unknown-key check.
+    """
+    parts = path.split(".")
+    require(all(parts), f"axis path {path!r} must be a dotted path of non-empty segments")
+    require(
+        parts[0] in _AXIS_ROOTS,
+        f"axis path {path!r} must start with one of {list(_AXIS_ROOTS)} "
+        "(name/description/schema are derived, not sweepable)",
+    )
+    node = tree
+    for segment in parts[:-1]:
+        node = _child(node, segment, path)
+    leaf = parts[-1]
+    if isinstance(node, list):
+        node[_index(leaf, path, len(node))] = value
+    else:
+        require(isinstance(node, dict), f"axis path {path!r}: {leaf!r} reached a non-container value")
+        require(
+            leaf in node,
+            f"axis path {path!r}: unknown key {leaf!r}; available: {sorted(node)}",
+        )
+        node[leaf] = value
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One swept parameter: a dotted spec path and its candidate values."""
+
+    path: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        require(isinstance(self.path, str) and self.path != "", "axis path must be a non-empty string")
+        require(isinstance(self.values, tuple), "axis values must be a tuple")
+        require(len(self.values) >= 1, f"axis {self.path!r} needs at least one value")
+        labels = [format_axis_value(v) for v in self.values]
+        require(
+            len(set(labels)) == len(labels),
+            f"axis {self.path!r} has duplicate values {labels} (cell names must be unique)",
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
+        return {"path": self.path, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AxisSpec":
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        reject_unknown_keys(data, ("path", "values"), "axis", required=("path", "values"))
+        values = data["values"]
+        require(isinstance(values, (list, tuple)), f"axis {data['path']!r} values must be a list")
+        return cls(path=data["path"], values=tuple(values))
+
+
+def as_axis(axis) -> AxisSpec:
+    """Coerce an :class:`AxisSpec` or a ``(path, values)`` pair to an axis."""
+    if isinstance(axis, AxisSpec):
+        return axis
+    require(
+        isinstance(axis, (tuple, list)) and len(axis) == 2,
+        f"axes must be AxisSpec or (path, values) pairs, got {axis!r}",
+    )
+    path, values = axis
+    require(isinstance(values, (list, tuple)), f"axis {path!r} values must be a sequence")
+    return AxisSpec(path=path, values=tuple(values))
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One expanded point of a design grid."""
+
+    index: int
+    name: str
+    coords: dict  # axis path -> value, in axis order
+    spec: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class DesignGrid:
+    """A base scenario plus N parameter axes (their Cartesian product)."""
+
+    base: ScenarioSpec
+    axes: tuple[AxisSpec, ...]
+
+    def __post_init__(self) -> None:
+        require(isinstance(self.base, ScenarioSpec), "base must be a ScenarioSpec")
+        require(isinstance(self.axes, tuple), "axes must be a tuple of AxisSpec")
+        require(len(self.axes) >= 1, "a design grid needs at least one axis")
+        for axis in self.axes:
+            require(isinstance(axis, AxisSpec), "axes must contain AxisSpec instances")
+        paths = [axis.path for axis in self.axes]
+        require(len(set(paths)) == len(paths), f"duplicate axis paths: {paths}")
+        # Overlapping paths (one a segment-prefix of another, e.g.
+        # "system.icn2" and "system.icn2.bandwidth") would let a later
+        # axis silently clobber an earlier one's value, making the cell's
+        # reported coordinates lie about the evaluated spec.
+        for i, a in enumerate(paths):
+            for b in paths[i + 1 :]:
+                sa, sb = a.split("."), b.split(".")
+                n = min(len(sa), len(sb))
+                require(
+                    sa[:n] != sb[:n],
+                    f"overlapping axis paths {a!r} and {b!r}: one addresses "
+                    "a value inside the other's subtree",
+                )
+        # Serialisability (registered pattern, valid schema) must fail at
+        # grid construction, before any cell burns compute.
+        self.base.to_dict()
+
+    @property
+    def size(self) -> int:
+        """Number of cells (the product of the axis lengths)."""
+        return math.prod(len(axis.values) for axis in self.axes)
+
+    def cell_name(self, values: tuple) -> str:
+        """Deterministic variant name for one coordinate tuple."""
+        parts = [
+            f"{axis.path}={format_axis_value(value)}"
+            for axis, value in zip(self.axes, values)
+        ]
+        return "/".join([self.base.name] + parts)
+
+    def cells(self) -> tuple[GridCell, ...]:
+        """Expand the Cartesian product, row-major (last axis fastest)."""
+        base_dict = self.base.to_dict()
+        out = []
+        for index, values in enumerate(itertools.product(*(a.values for a in self.axes))):
+            name = self.cell_name(values)
+            cell_dict = copy.deepcopy(base_dict)
+            for axis, value in zip(self.axes, values):
+                set_by_path(cell_dict, axis.path, value)
+            cell_dict["name"] = name
+            cell_dict["description"] = f"grid cell of {self.base.name!r}"
+            try:
+                spec = ScenarioSpec.from_dict(cell_dict)
+            except ValueError as exc:
+                raise ValueError(f"grid cell {name!r} is invalid: {exc}") from exc
+            coords = {axis.path: value for axis, value in zip(self.axes, values)}
+            out.append(GridCell(index=index, name=name, coords=coords, spec=spec))
+        return tuple(out)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
+        return {
+            "schema": GRID_SCHEMA,
+            "base": self.base.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignGrid":
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        reject_unknown_keys(data, ("schema", "base", "axes"), "grid", required=("base", "axes"))
+        schema = data.get("schema", GRID_SCHEMA)
+        require(
+            schema == GRID_SCHEMA,
+            f"unsupported grid schema {schema!r} (this build reads {GRID_SCHEMA!r})",
+        )
+        axes = data["axes"]
+        require(isinstance(axes, (list, tuple)), "grid 'axes' must be a list")
+        return cls(
+            base=ScenarioSpec.from_dict(data["base"]),
+            axes=tuple(AxisSpec.from_dict(a) for a in axes),
+        )
+
+    def to_json(self) -> str:
+        """Pretty JSON text of the grid (non-finite floats tagged)."""
+        return json.dumps(to_jsonable(self.to_dict()), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "DesignGrid":
+        """Inverse of :meth:`to_json` (restores tagged non-finite floats)."""
+        return cls.from_dict(from_jsonable(json.loads(text)))
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the grid as a JSON file."""
+        return save_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "DesignGrid":
+        """Read a grid from a JSON file written by :meth:`save`."""
+        return cls.from_dict(load_json(path))

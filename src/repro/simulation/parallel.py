@@ -36,7 +36,7 @@ from repro.simulation.metrics import MeasurementWindow
 from repro.simulation.runner import SimulationResult, SimulationSession
 from repro.simulation.traffic import SimTrafficPattern
 
-__all__ = ["SimWorkItem", "resolve_jobs", "run_work_item", "run_work_items"]
+__all__ = ["SimWorkItem", "map_jobs", "resolve_jobs", "run_work_item", "run_work_items"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,24 @@ def resolve_jobs(jobs: "int | str | None") -> int:
         return max(1, os.cpu_count() or 1)
     require_int(jobs, "jobs", minimum=1)
     return int(jobs)
+
+
+def map_jobs(fn, payloads, *, jobs: "int | str | None" = None) -> list:
+    """Order-preserving map of *fn* over *payloads*, serial or pooled.
+
+    The generic fan-out primitive behind :func:`run_work_items`,
+    ``Experiment.sweep_many`` and ``explore_grid``: ``jobs`` follows
+    :func:`resolve_jobs`, the pool never exceeds the payload count, result
+    ``i`` always belongs to payload ``i``, and a worker exception
+    propagates to the caller (never a partial list).  *fn* must be a
+    module-level callable and every payload picklable when ``jobs > 1``.
+    """
+    payloads = list(payloads)
+    n_jobs = min(resolve_jobs(jobs), len(payloads))
+    if n_jobs <= 1:
+        return [fn(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(fn, payloads))
 
 
 # Per-process session cache (bounded: the worker processes of one pool see
@@ -126,9 +144,7 @@ def run_work_items(
     for item in items:
         require(isinstance(item, SimWorkItem), "items must be SimWorkItem instances")
     n_jobs = min(resolve_jobs(jobs), len(items))
-    if n_jobs <= 1:
-        if session is None:
-            return [run_work_item(item) for item in items]
+    if n_jobs <= 1 and session is not None:
         key = (session.system_config, session.message, session.options)
         return [
             _run_on(session, item)
@@ -136,5 +152,4 @@ def run_work_items(
             else run_work_item(item)
             for item in items
         ]
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        return list(pool.map(run_work_item, items))
+    return map_jobs(run_work_item, items, jobs=n_jobs)

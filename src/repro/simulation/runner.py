@@ -84,7 +84,9 @@ class SimulationSession:
         # the batched arrival/destination arrays instead of re-drawing them
         # (bit-identical either way — see rng.ReplayableDraws).  Bounded so
         # a long-lived session sweeping many seeds cannot accumulate one
-        # cache entry (~0.5 MB at the default window) per seed forever.
+        # cache entry (~0.5 MB at the default window) per seed forever;
+        # eviction is LRU — insertion order doubles as recency order
+        # because every hit re-inserts its entry at the back.
         self._draws: dict[int, ReplayableDraws] = {}
         self._draws_max = 8
 
@@ -105,11 +107,12 @@ class SimulationSession:
         window = window or MeasurementWindow.scaled_paper(20_000)
         streams = make_streams(seed)
         if granularity == "message":
-            draws = self._draws.get(seed)
+            draws = self._draws.pop(seed, None)
             if draws is None:
                 if len(self._draws) >= self._draws_max:
                     self._draws.pop(next(iter(self._draws)))
-                draws = self._draws[seed] = ReplayableDraws(seed)
+                draws = ReplayableDraws(seed)
+            self._draws[seed] = draws
             engine = MessageLevelWormholeSimulator(
                 self.fabric,
                 window,

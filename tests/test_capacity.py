@@ -5,9 +5,17 @@ import pytest
 from repro.analysis import (
     headroom_report,
     max_load_for_latency,
+    model_bottlenecks,
     required_upgrade_factor,
 )
-from repro.core import AnalyticalModel, MessageSpec, find_saturation_load, paper_system_544
+from repro.core import (
+    AnalyticalModel,
+    BatchedModel,
+    MessageSpec,
+    find_saturation_load,
+    paper_system_544,
+)
+from repro.workloads import HotspotTraffic
 
 MSG = MessageSpec(32, 256.0)
 
@@ -127,3 +135,31 @@ class TestHeadroom:
         report = headroom_report(paper_544, MSG, 2e-4)
         assert report.binding.kind == "concentrator"
         assert report.load == 2e-4
+
+    def test_headroom_forwards_pattern(self, paper_544):
+        """Regression: a hotspot operating point must not rank as uniform."""
+        pattern = HotspotTraffic(hot_cluster=15, hot_fraction=0.3)
+        hotspot = headroom_report(paper_544, MSG, 2e-4, pattern=pattern)
+        direct = model_bottlenecks(
+            paper_544, MSG, 2e-4, engine=BatchedModel(paper_544, MSG, None, pattern)
+        )
+        assert hotspot.binding == direct.binding
+        assert hotspot.resources == direct.resources
+        uniform = headroom_report(paper_544, MSG, 2e-4)
+        assert hotspot.resources != uniform.resources
+
+    def test_headroom_forwards_engine(self, paper_544):
+        pattern = HotspotTraffic(hot_cluster=15, hot_fraction=0.3)
+        engine = BatchedModel(paper_544, MSG, None, pattern)
+        via_engine = headroom_report(paper_544, MSG, 2e-4, engine=engine)
+        via_pattern = headroom_report(paper_544, MSG, 2e-4, pattern=pattern)
+        assert via_engine.resources == via_pattern.resources
+
+    def test_headroom_rejects_mismatched_engine_pattern(self, paper_544):
+        engine = BatchedModel(paper_544, MSG)  # uniform traffic
+        with pytest.raises(ValueError, match="different traffic pattern"):
+            headroom_report(
+                paper_544, MSG, 2e-4,
+                pattern=HotspotTraffic(hot_cluster=15, hot_fraction=0.3),
+                engine=engine,
+            )

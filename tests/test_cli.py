@@ -24,6 +24,7 @@ class TestParser:
             "validate",
             "capacity",
             "whatif",
+            "explore",
             "report",
             "scenarios",
             "export-config",
@@ -375,3 +376,114 @@ class TestWhatIf:
         code, out, _ = run_cli(capsys, "whatif", "--system", "544", "--factor", "1.2")
         assert code == 0
         assert "saturation gain" in out
+
+
+class TestValidateGranularity:
+    def test_flit_granularity_end_to_end(self, capsys, tmp_path):
+        """Regression: the CLI never exposed the flit-level reference
+        engine on validate (tiny N keeps the run cheap)."""
+        from repro.cluster import homogeneous_system
+        from repro.scenarios import ScenarioSpec
+
+        cfg = tmp_path / "small.json"
+        ScenarioSpec(
+            name="flit-cli-smoke",
+            system=homogeneous_system(switch_ports=4, tree_depth=1, num_clusters=4),
+        ).save(cfg)
+        code, out, _ = run_cli(
+            capsys,
+            "validate",
+            "--config", str(cfg),
+            "--points", "2",
+            "--messages", "150",
+            "--granularity", "flit",
+        )
+        assert code == 0
+        assert "rel_error" in out or "model" in out
+
+    def test_rejects_unknown_granularity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "--granularity", "byte"])
+
+
+class TestExplore:
+    AXES = [
+        "--axis", "system.icn2.bandwidth=500,600",
+        "--axis", "message.length_flits=32,64",
+    ]
+
+    def test_axis_grid_runs(self, capsys):
+        code, out, _ = run_cli(capsys, "explore", "--scenario", "544", *self.AXES)
+        assert code == 0
+        assert "4 cells" in out
+        assert "544/system.icn2.bandwidth=600/message.length_flits=64" in out
+        assert "evaluated 4 of 4 cells" in out
+
+    def test_cache_serves_second_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        out_a = tmp_path / "a.csv"
+        out_b = tmp_path / "b.csv"
+        code, first, _ = run_cli(
+            capsys, "explore", "--scenario", "544", *self.AXES,
+            "--cache", cache, "--out", str(out_a),
+        )
+        assert code == 0 and "evaluated 4 of 4 cells (0 from cache" in first
+        code, second, _ = run_cli(
+            capsys, "explore", "--scenario", "544", *self.AXES,
+            "--jobs", "2", "--cache", cache, "--out", str(out_b),
+        )
+        assert code == 0 and "evaluated 0 of 4 cells (4 from cache" in second
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_frontier_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "explore", "--scenario", "544", *self.AXES, "--frontier"
+        )
+        assert code == 0
+        assert "Pareto frontier" in out
+        assert "axis sensitivity" in out
+
+    def test_grid_file(self, capsys, tmp_path):
+        from repro.scenarios import AxisSpec, DesignGrid, get_scenario
+
+        path = tmp_path / "grid.json"
+        DesignGrid(
+            base=get_scenario("544"),
+            axes=(AxisSpec("system.icn2.bandwidth", (500.0, 600.0)),),
+        ).save(path)
+        code, out, _ = run_cli(capsys, "explore", "--grid", str(path))
+        assert code == 0
+        assert "2 cells" in out
+
+    def test_grid_conflicts_with_axis(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "explore", "--grid", str(tmp_path / "g.json"), *self.AXES
+        )
+        assert code == 2
+        assert "conflicts with --axis" in err
+
+    def test_requires_an_axis(self, capsys):
+        code, _, err = run_cli(capsys, "explore", "--scenario", "544")
+        assert code == 2
+        assert "at least one --axis" in err
+
+    def test_bad_axis_path_is_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "explore", "--scenario", "544", "--axis", "system.icn2.bandwdith=500"
+        )
+        assert code == 2
+        assert "unknown key" in err
+
+    def test_budget_flag_fills_lambda_at_budget(self, capsys, tmp_path):
+        from repro.io import load_json
+
+        out = tmp_path / "explore.json"
+        code, _, _ = run_cli(
+            capsys, "explore", "--scenario", "544",
+            "--axis", "system.icn2.bandwidth=500,600",
+            "--budget", "60", "--out", str(out),
+        )
+        assert code == 0
+        payload = load_json(out)
+        for value in payload["data"]["columns"]["lambda_at_budget"]:
+            assert value > 0

@@ -171,3 +171,21 @@ class TestWorkflows:
         assert all(np.isfinite(sweep.data["columns"]["latency"][:-1]))
         sim = exp.simulate(1e-4, messages=200, seed=0)
         assert sim.data["completed"] is True
+
+    def test_flit_granularity_through_facade(self):
+        """Regression: the flit-level reference engine is reachable from
+        Experiment.simulate/validate (small N keeps the run cheap)."""
+        from repro.cluster import homogeneous_system
+
+        spec = ScenarioSpec(
+            name="flit-smoke",
+            system=homogeneous_system(switch_ports=4, tree_depth=1, num_clusters=4),
+        )
+        exp = Experiment(spec)
+        sim = exp.simulate(1e-3, messages=150, seed=3, granularity="flit")
+        assert sim.data["completed"] is True
+        assert sim.data["mean_latency"] > 0
+        val = exp.validate(points=2, messages=150, seed=3, granularity="flit")
+        cols = val.data["columns"]
+        assert len(cols["load"]) == 2
+        assert all(np.isfinite(cols["simulation"]))
