@@ -16,7 +16,11 @@ Scenarios:
    (e.g. a storage cluster); its dispatcher becomes the new bottleneck.
 
 Run:  python examples/nonuniform_traffic.py
+(Set REPRO_EXAMPLE_MESSAGES to shrink the simulated validation — the test
+suite smoke-runs this script with a tiny budget.)
 """
+
+import os
 
 from repro import AnalyticalModel, MessageSpec, find_saturation_load
 from repro.analysis import render_series, render_table
@@ -26,6 +30,7 @@ from repro.workloads import HotspotTraffic, LocalityTraffic
 
 SYSTEM = homogeneous_system(switch_ports=8, tree_depth=2, num_clusters=8)  # 256 nodes
 MESSAGE = MessageSpec(32, 256.0)
+MESSAGES = int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "8000"))
 
 
 def locality_study() -> None:
@@ -55,7 +60,7 @@ def locality_validation() -> None:
     pattern = LocalityTraffic(0.6)
     model = AnalyticalModel(SYSTEM, MESSAGE, pattern=pattern)
     session = SimulationSession(SYSTEM, MESSAGE)
-    window = MeasurementWindow.scaled_paper(8_000)
+    window = MeasurementWindow.scaled_paper(MESSAGES)
     lam = 0.25 * find_saturation_load(model)
     sim = session.run(lam, seed=0, window=window, pattern=pattern)
     predicted = model.evaluate(lam).latency

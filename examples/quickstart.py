@@ -7,9 +7,16 @@ model for the saturation point and a latency breakdown, sweeps the curve
 wormhole simulator — all off a single declarative ScenarioSpec.
 
 Run:  python examples/quickstart.py
+(Set REPRO_EXAMPLE_MESSAGES to shrink the simulated validation — the test
+suite smoke-runs this script with a tiny budget.)
 """
 
+import os
+
 from repro import Experiment, get_scenario
+
+MESSAGES = int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "10000"))
+
 
 def main() -> None:
     # Any registered name works ("python -m repro scenarios" lists them);
@@ -33,7 +40,7 @@ def main() -> None:
     print(sweep.text)
 
     # --- validation: the discrete-event wormhole simulator --------------
-    validation = exp.validate(points=3, messages=10_000)
+    validation = exp.validate(points=3, messages=MESSAGES)
     print()
     print(validation.text)
     print(

@@ -13,7 +13,11 @@ Shows the simulation side of the toolkit beyond single runs:
    concentrate group race ahead — the paper's bottleneck claim, live).
 
 Run:  python examples/simulator_deep_dive.py
+(Set REPRO_EXAMPLE_MESSAGES to shrink every simulation — the test suite
+smoke-runs this script with a tiny budget.)
 """
+
+import os
 
 from repro import AnalyticalModel, MessageSpec, find_saturation_load
 from repro.analysis import estimate_sim_knee, render_series, render_table
@@ -22,7 +26,8 @@ from repro.simulation import MeasurementWindow, SimulationSession, replicate
 
 SYSTEM = homogeneous_system(switch_ports=4, tree_depth=2, num_clusters=4)  # 32 nodes
 MESSAGE = MessageSpec(16, 256.0)
-WINDOW = MeasurementWindow(300, 3000, 300)
+# scaled_paper(3000) is the historical 300/3000/300 window.
+WINDOW = MeasurementWindow.scaled_paper(int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "3000")))
 
 
 def engines() -> None:

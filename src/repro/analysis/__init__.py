@@ -1,5 +1,13 @@
 """Analyses on top of the model/simulator: bottlenecks, what-if, tables."""
 
+from repro.analysis.accuracy import (
+    ACCURACY_METRICS,
+    light_load_error,
+    max_abs_error,
+    relative_errors,
+    rms_weighted,
+    score_errors,
+)
 from repro.analysis.capacity import (
     CapacityPlan,
     headroom_report,
@@ -30,6 +38,12 @@ from repro.analysis.whatif import (
 )
 
 __all__ = [
+    "ACCURACY_METRICS",
+    "relative_errors",
+    "max_abs_error",
+    "light_load_error",
+    "rms_weighted",
+    "score_errors",
     "CapacityPlan",
     "max_load_for_latency",
     "required_upgrade_factor",

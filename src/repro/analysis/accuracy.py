@@ -1,0 +1,141 @@
+"""Accuracy metrics for model-vs-simulation curves.
+
+The paper's validation methodology (§4) compares the analytical model to
+discrete-event simulation point by point across a load grid; this module
+collects the scalar scores the library derives from such a curve, so the
+validation harness (:mod:`repro.validation.compare`) and the calibration
+engine (:mod:`repro.experiments.calibrate`) rank readings with the exact
+same arithmetic.
+
+All metrics operate on *relative errors* ``(model − sim) / sim`` (negative
+when the model is optimistic, matching
+:attr:`repro.validation.compare.ValidationPoint.relative_error`):
+
+``max_abs_error``
+    the largest ``|error|`` over the grid — the paper's "differs by about
+    4 to 8 percent" headline is this number at light loads;
+``light_load_error``
+    ``|error|`` at the *lightest* load of the grid, where the paper states
+    its accuracy claim;
+``rms_weighted``
+    a **load-weighted RMS**, ``sqrt(Σ λ_i e_i² / Σ λ_i)`` — one smooth
+    score over the whole curve that counts heavy-load tracking more than
+    the near-idle points (where every reading is easy), without letting a
+    single point dominate the way ``max`` does.
+
+Non-finite handling: a saturated model point has no finite latency, so its
+relative error is NaN.  Under the default ``nonfinite="propagate"`` policy
+a curve containing such a point scores ``inf`` — a reading that saturates
+*inside* the scoring grid cannot track the simulator there and must rank
+behind every reading that stays finite.  ``nonfinite="skip"`` reproduces
+the historical :meth:`ValidationCurve.max_abs_error` behaviour (ignore the
+bad points), kept for reporting on curves that intentionally cross the
+knee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import require
+
+__all__ = [
+    "ACCURACY_METRICS",
+    "light_load_error",
+    "max_abs_error",
+    "relative_errors",
+    "rms_weighted",
+    "score_errors",
+]
+
+#: Metric names accepted by :func:`score_errors` (and the CLI's --metric).
+ACCURACY_METRICS = ("max_abs_error", "light_load_error", "rms_weighted")
+
+_POLICIES = ("propagate", "skip")
+
+
+def _as_array(values, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    require(arr.ndim == 1 and arr.size > 0, f"{name} must be a non-empty 1-D sequence")
+    return arr
+
+
+def relative_errors(model_latencies, sim_latencies) -> np.ndarray:
+    """Per-point relative errors ``(model − sim) / sim``.
+
+    NaN where the model latency is non-finite (a saturated point) or the
+    simulated latency is zero — exactly the cases
+    :attr:`~repro.validation.compare.ValidationPoint.relative_error`
+    maps to NaN.
+    """
+    model = _as_array(model_latencies, "model_latencies")
+    sim = _as_array(sim_latencies, "sim_latencies")
+    require(model.shape == sim.shape, f"model and sim lengths differ: {model.size} != {sim.size}")
+    errors = np.full(model.shape, np.nan)
+    ok = np.isfinite(model) & (sim != 0)
+    # Plain IEEE-754 double arithmetic, identical to the scalar expression
+    # (model - sim) / sim the validation points compute one at a time.
+    errors[ok] = (model[ok] - sim[ok]) / sim[ok]
+    return errors
+
+
+def max_abs_error(errors, *, nonfinite: str = "propagate") -> float:
+    """Largest ``|relative error|`` over the curve.
+
+    ``nonfinite="propagate"`` (default) returns ``inf`` when any error is
+    non-finite; ``"skip"`` ignores those points (NaN when none are finite).
+    """
+    require(nonfinite in _POLICIES, f"nonfinite must be one of {_POLICIES}, got {nonfinite!r}")
+    errors = _as_array(errors, "errors")
+    finite = np.isfinite(errors)
+    if not finite.all() and nonfinite == "propagate":
+        return float("inf")
+    if not finite.any():
+        return float("nan")
+    return float(np.max(np.abs(errors[finite])))
+
+
+def light_load_error(loads, errors) -> float:
+    """``|relative error|`` at the lightest load of the grid.
+
+    ``inf`` when that point's error is non-finite (the reading saturates
+    before the lightest scored load — hopeless, rank it last).
+    """
+    loads = _as_array(loads, "loads")
+    errors = _as_array(errors, "errors")
+    require(loads.shape == errors.shape, f"loads and errors lengths differ: {loads.size} != {errors.size}")
+    value = errors[int(np.argmin(loads))]
+    return float(abs(value)) if np.isfinite(value) else float("inf")
+
+
+def rms_weighted(loads, errors, *, nonfinite: str = "propagate") -> float:
+    """Load-weighted RMS error ``sqrt(Σ λ_i e_i² / Σ λ_i)``.
+
+    Weighting by the load counts each point proportionally to the traffic
+    it represents: the heavy-load points — where the readings genuinely
+    disagree — dominate, and near-idle points (trivially accurate for any
+    reading) cannot mask a bad mid-load fit.  Policy as in
+    :func:`max_abs_error`.
+    """
+    require(nonfinite in _POLICIES, f"nonfinite must be one of {_POLICIES}, got {nonfinite!r}")
+    loads = _as_array(loads, "loads")
+    errors = _as_array(errors, "errors")
+    require(loads.shape == errors.shape, f"loads and errors lengths differ: {loads.size} != {errors.size}")
+    require(bool(np.all(loads > 0)), "loads must be positive (weights are the loads themselves)")
+    finite = np.isfinite(errors)
+    if not finite.all() and nonfinite == "propagate":
+        return float("inf")
+    if not finite.any():
+        return float("nan")
+    w = loads[finite]
+    e = errors[finite]
+    return float(np.sqrt(np.sum(w * e * e) / np.sum(w)))
+
+
+def score_errors(loads, errors) -> dict:
+    """All :data:`ACCURACY_METRICS` of one error curve (propagate policy)."""
+    return {
+        "max_abs_error": max_abs_error(errors),
+        "light_load_error": light_load_error(loads, errors),
+        "rms_weighted": rms_weighted(loads, errors),
+    }

@@ -36,17 +36,22 @@ Subcommands mirror the :class:`repro.experiments.Experiment` facade:
                   file) and evaluate every cell through the closed forms;
                   ``--frontier`` adds Pareto/sensitivity views, ``--cache``
                   memoises cells on disk (see ``docs/design_space.md``).
+``calibrate``     search the ModelOptions ablation space against the
+                  simulators: rank every combination of equation readings
+                  by accuracy (``--fix``/``--vary`` restrict the space,
+                  ``--cache`` memoises the simulated ground truth; see
+                  ``docs/calibration.md``).
 ``report``        regenerate the paper's full evaluation section.
 ``scenarios``     list registered scenarios, or show one as JSON.
 ``export-config`` print/save the resolved scenario as a JSON config file.
 
-``sweep``, ``validate``, ``capacity`` and ``explore`` accept ``--out
-<path>`` to persist the result as JSON or CSV (by extension) via
-:mod:`repro.io.results`.  ``simulate``, ``validate`` and ``report`` accept
-``--jobs N`` to fan their simulations across a process pool (``--jobs 0``
-= one worker per CPU), and ``explore --jobs`` does the same for model
-cells; results are bit-identical for any worker count (see
-``docs/parallel_validation.md``).
+``sweep``, ``validate``, ``capacity``, ``explore`` and ``calibrate``
+accept ``--out <path>`` to persist the result as JSON or CSV (by
+extension) via :mod:`repro.io.results`.  ``simulate``, ``validate``,
+``calibrate`` and ``report`` accept ``--jobs N`` to fan their simulations
+across a process pool (``--jobs 0`` = one worker per CPU), and ``explore
+--jobs`` does the same for model cells; results are bit-identical for any
+worker count (see ``docs/parallel_validation.md``).
 """
 
 from __future__ import annotations
@@ -225,6 +230,68 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_flag(p)
     out_flag(p)
 
+    p = sub.add_parser(
+        "calibrate",
+        help="search the ModelOptions ablation space against the simulators",
+    )
+    common(p)
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="calibrate across every registered scenario (combine with --jobs)",
+    )
+    p.add_argument(
+        "--fix",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="pin one model option to a single value (repeat to pin more; "
+        "the remaining knobs are varied over their full domains)",
+    )
+    p.add_argument(
+        "--vary",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="restrict one knob's candidate values (DesignGrid axis syntax; "
+        "with --vary, unmentioned un-pinned knobs keep their defaults)",
+    )
+    p.add_argument(
+        "--metric",
+        choices=["max_abs_error", "light_load_error", "rms_weighted"],
+        default="rms_weighted",
+        help="ranking metric (see docs/calibration.md)",
+    )
+    p.add_argument(
+        "--fractions",
+        default=None,
+        metavar="F1,F2,...",
+        help="scored loads as fractions of the reference λ* (default 0.2,0.4,0.6,0.8)",
+    )
+    p.add_argument("--messages", type=int, default=10_000, help="measured messages per sim point")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seed-stride",
+        type=int,
+        default=1,
+        help="point i simulates under seed + stride*i (0 = one shared seed, "
+        "the ablation benches' protocol)",
+    )
+    p.add_argument(
+        "--granularity",
+        choices=["message", "flit"],
+        default="message",
+        help="simulator granularity (flit = the slow reference engine)",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk simulator-curve cache (repeat runs simulate nothing)",
+    )
+    jobs_flag(p)
+    out_flag(p)
+
     p = sub.add_parser("report", help="regenerate the paper's full evaluation section")
     p.add_argument("--messages", type=int, default=10_000, help="measured messages per sim point")
     p.add_argument("--points", type=int, default=6, help="loads per curve")
@@ -267,6 +334,20 @@ def _parse_pattern(text: str):
     return make_pattern(name.strip(), **params)
 
 
+def _coerce_option_value(key: str, text: str):
+    """Coerce one ``--option``/``--fix``/``--vary`` knob value.
+
+    ``relaxing_factor`` is the only non-string knob: ``true``/``false``
+    become bools; everything else passes through verbatim (domains are
+    validated where the value is consumed).
+    """
+    if key.endswith("relaxing_factor"):
+        lowered = text.lower()
+        require(lowered in ("true", "false"), f"relaxing_factor must be true/false, got {text!r}")
+        return lowered == "true"
+    return text
+
+
 def _parse_options(base: ModelOptions, entries: "list[str]") -> ModelOptions:
     """Apply ``--option KEY=VALUE`` overrides onto *base*."""
     valid = ModelOptions.field_names()
@@ -276,14 +357,38 @@ def _parse_options(base: ModelOptions, entries: "list[str]") -> ModelOptions:
         key, _, value = entry.partition("=")
         key = key.strip()
         require(key in valid, f"unknown model option {key!r}; valid: {', '.join(valid)}")
-        value = value.strip()
-        if key == "relaxing_factor":
-            lowered = value.lower()
-            require(lowered in ("true", "false"), f"relaxing_factor must be true/false, got {value!r}")
-            updates[key] = lowered == "true"
-        else:
-            updates[key] = value
+        updates[key] = _coerce_option_value(key, value.strip())
     return replace(base, **updates) if updates else base
+
+
+def _multi_scenario_names(args, verb: str) -> "list[str] | None":
+    """Resolve ``--all`` / a comma-separated ``--scenario`` to a name list.
+
+    Returns ``None`` for the single-scenario path (``resolve_spec``).
+    Multi-scenario commands bypass ``resolve_spec``, so every
+    single-scenario selector and override must be rejected loudly here —
+    not silently ignored.
+    """
+    if args.all:
+        require(
+            not (args.config or args.scenario or args.system),
+            "--all conflicts with --config/--scenario/--system",
+        )
+        names = list(scenario_names())
+    elif args.scenario and "," in args.scenario:
+        require(
+            not (args.config or args.system),
+            "a --scenario list conflicts with --config/--system",
+        )
+        names = [part.strip() for part in args.scenario.split(",") if part.strip()]
+        require(names, "--scenario got an empty scenario list")
+    else:
+        return None
+    require(
+        args.flits is None and args.flit_bytes is None and not args.option and args.pattern is None,
+        f"multi-scenario {verb} does not support --flits/--flit-bytes/--option/--pattern overrides",
+    )
+    return names
 
 
 def resolve_spec(args) -> ScenarioSpec:
@@ -369,21 +474,8 @@ def _cmd_saturation(args) -> str:
 def _cmd_sweep(args) -> str:
     # Multi-scenario fan-out: `--all` or a comma-separated `--scenario` list
     # route through Experiment.sweep_many (one uniform long-format table).
-    names = None
-    if args.all:
-        require(
-            not (args.config or args.scenario or args.system),
-            "--all conflicts with --config/--scenario/--system",
-        )
-        names = list(scenario_names())
-    elif args.scenario and "," in args.scenario:
-        names = [part.strip() for part in args.scenario.split(",") if part.strip()]
-        require(names, "--scenario got an empty scenario list")
+    names = _multi_scenario_names(args, "sweep")
     if names is not None:
-        require(
-            args.flits is None and args.flit_bytes is None and not args.option and args.pattern is None,
-            "multi-scenario sweep does not support --flits/--flit-bytes/--option/--pattern overrides",
-        )
         result = Experiment.sweep_many(names, jobs=args.jobs, points=args.points)
         return result.text + _persist(result, args.out)
     require(
@@ -483,6 +575,67 @@ def _cmd_explore(args) -> str:
     return result.text + _persist(result, args.out)
 
 
+def _parse_fix(entries: "list[str]") -> dict:
+    """``--fix KEY=VALUE`` entries -> a pinned-knob mapping."""
+    fixed: dict = {}
+    for entry in entries:
+        require("=" in entry, f"--fix expects KEY=VALUE, got {entry!r}")
+        key, _, value = entry.partition("=")
+        key = key.strip()
+        require(key not in fixed, f"--fix names {key!r} twice")
+        fixed[key] = _coerce_option_value(key, value.strip())
+    return fixed
+
+
+def _parse_vary(text: str) -> tuple:
+    """``--vary KEY=V1,V2,...`` -> an option-axis ``(knob, values)`` pair."""
+    require("=" in text, f"--vary expects KEY=V1,V2,..., got {text!r}")
+    key, _, values_text = text.partition("=")
+    key = key.strip()
+    values = tuple(
+        _coerce_option_value(key, v.strip()) for v in values_text.split(",") if v.strip()
+    )
+    require(len(values) >= 1, f"--vary {key!r} got no values")
+    return (key, values)
+
+
+def _cmd_calibrate(args) -> str:
+    from repro.experiments.calibrate import DEFAULT_FRACTIONS, calibrate_options
+
+    fixed = _parse_fix(args.fix)
+    axes = [_parse_vary(v) for v in args.vary] or None
+    if args.fractions is None:
+        fractions = DEFAULT_FRACTIONS
+    else:
+        try:
+            fractions = tuple(
+                float(v.strip()) for v in args.fractions.split(",") if v.strip()
+            )
+        except ValueError:
+            raise ValueError(f"--fractions expects F1,F2,..., got {args.fractions!r}") from None
+    names = _multi_scenario_names(args, "calibrate")
+    if names is not None:
+        scenarios: "list" = names
+    else:
+        # The common overrides shape the *reference* scenario here — e.g.
+        # --option tcn_convention=... moves the simulated ground truth.
+        scenarios = [resolve_spec(args)]
+    result = calibrate_options(
+        scenarios,
+        axes=axes,
+        fixed=fixed,
+        fractions=fractions,
+        metric=args.metric,
+        messages=args.messages,
+        seed=args.seed,
+        seed_stride=args.seed_stride,
+        granularity=args.granularity,
+        jobs=args.jobs,
+        cache=args.cache,
+    )
+    return result.text + _persist(result, args.out)
+
+
 def _cmd_report(args) -> str:
     from repro.validation import reproduction_report
 
@@ -534,6 +687,7 @@ _COMMANDS = {
     "capacity": _cmd_capacity,
     "whatif": _cmd_whatif,
     "explore": _cmd_explore,
+    "calibrate": _cmd_calibrate,
     "report": _cmd_report,
     "scenarios": _cmd_scenarios,
     "export-config": _cmd_export_config,

@@ -296,6 +296,24 @@ class ModelOptions:
         """The option names accepted by :meth:`from_dict` (and the CLI)."""
         return tuple(f.name for f in fields(cls))
 
+    @classmethod
+    def option_values(cls) -> dict:
+        """Every knob's admissible values, in declaration order.
+
+        This is the single source of truth the calibration engine
+        (:mod:`repro.experiments.calibrate`) enumerates — the Cartesian
+        product of these domains is the full 2·3·2·2·2·2 = 96-combination
+        ablation space.
+        """
+        return {
+            "tcn_convention": cls._TCN,
+            "source_queue_rate": cls._SRC,
+            "relaxing_factor": (True, False),
+            "variance_approximation": cls._VAR,
+            "inter_average": cls._AVG,
+            "concentrator_rate": cls._CON,
+        }
+
     def to_dict(self) -> dict:
         """JSON-ready mapping; :meth:`from_dict` inverts it exactly."""
         return {name: getattr(self, name) for name in self.field_names()}

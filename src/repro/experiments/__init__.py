@@ -20,6 +20,13 @@ Design-space exploration (multi-axis grids through the closed forms)::
     result.data["columns"]            # long-format table, one row per cell
 """
 
+from repro.experiments.calibrate import (
+    CALIBRATION_SCHEMA,
+    SIM_CURVE_SCHEMA,
+    calibrate_options,
+    option_combinations,
+    sim_curve_key,
+)
 from repro.experiments.experiment import EXPERIMENT_SCHEMA, Experiment, ExperimentResult
 from repro.experiments.explore import EXPLORE_CELL_SCHEMA, cell_cache_key, explore_grid
 
@@ -30,4 +37,9 @@ __all__ = [
     "explore_grid",
     "cell_cache_key",
     "EXPLORE_CELL_SCHEMA",
+    "calibrate_options",
+    "option_combinations",
+    "sim_curve_key",
+    "CALIBRATION_SCHEMA",
+    "SIM_CURVE_SCHEMA",
 ]

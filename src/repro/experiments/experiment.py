@@ -590,6 +590,27 @@ class Experiment:
             knee_threshold_factor=knee_threshold_factor,
         )
 
+    def calibrate(
+        self,
+        *,
+        axes=None,
+        fixed: "dict | None" = None,
+        **kwargs,
+    ) -> ExperimentResult:
+        """Calibrate the ``ModelOptions`` readings against the simulators.
+
+        Enumerates the (optionally restricted) option space and scores
+        every combination against this scenario's simulated ground truth;
+        see :func:`repro.experiments.calibrate.calibrate_options`, which
+        this wraps with ``[self.spec]`` — all its protocol knobs
+        (``fractions``, ``metric``, ``messages``, ``seed``,
+        ``seed_stride``, ``granularity``, ``jobs``, ``cache``) pass
+        through.
+        """
+        from repro.experiments.calibrate import calibrate_options
+
+        return calibrate_options([self.spec], axes=axes, fixed=fixed, **kwargs)
+
     @classmethod
     def sweep_many(
         cls,

@@ -48,7 +48,7 @@ from repro.analysis.frontier import axis_sensitivity, bandwidth_cost_proxy, pare
 from repro.analysis.tables import render_table
 from repro.core.batch import ENGINE_VERSION, BatchedModel, refine_monotone_crossing
 from repro.experiments.experiment import ExperimentResult
-from repro.io.cache import ResultCache, content_key
+from repro.io.cache import ResultCache, canonical_numbers, content_key
 from repro.scenarios.grid import DesignGrid, format_axis_value
 from repro.scenarios.spec import ScenarioSpec
 
@@ -70,26 +70,6 @@ _METRIC_COLUMNS = (
 )
 
 
-def _canonical_numbers(value):
-    """Replace non-bool ints with equal floats throughout a payload tree.
-
-    Axis values arrive as ``500`` from CLI coercion but ``500.0`` from the
-    Python API or a grid file; both build the identical model (the math is
-    float throughout), so the cache key must not distinguish them.  Spec
-    ints are small (ports, depths, flit counts) — far below float64's
-    integer-exact range — so the conversion never collides two values.
-    """
-    if isinstance(value, dict):
-        return {k: _canonical_numbers(v) for k, v in value.items()}
-    if isinstance(value, list):
-        return [_canonical_numbers(v) for v in value]
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, int):
-        return float(value)
-    return value
-
-
 def cell_cache_key(spec: ScenarioSpec, knee_threshold_factor: float) -> str:
     """Content key of one cell's metrics in the on-disk cache.
 
@@ -105,7 +85,7 @@ def cell_cache_key(spec: ScenarioSpec, knee_threshold_factor: float) -> str:
     payload.pop("name", None)
     payload.pop("description", None)
     payload.pop("load_grid", None)
-    payload = _canonical_numbers(payload)
+    payload = canonical_numbers(payload)
     return content_key(
         {
             "schema": EXPLORE_CELL_SCHEMA,

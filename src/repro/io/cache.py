@@ -30,7 +30,28 @@ from pathlib import Path
 from repro._util import require
 from repro.io.results import load_json, to_jsonable
 
-__all__ = ["ResultCache", "content_key"]
+__all__ = ["ResultCache", "canonical_numbers", "content_key"]
+
+
+def canonical_numbers(value):
+    """Replace non-bool ints with equal floats throughout a payload tree.
+
+    Spec values arrive as ``500`` from CLI coercion but ``500.0`` from the
+    Python API or a config file; both build the identical model/simulation
+    (the math is float throughout), so a cache key must not distinguish
+    them.  Spec ints are small (ports, depths, flit counts) — far below
+    float64's integer-exact range — so the conversion never collides two
+    values.
+    """
+    if isinstance(value, dict):
+        return {k: canonical_numbers(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [canonical_numbers(v) for v in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    return value
 
 
 def content_key(payload) -> str:

@@ -6,6 +6,7 @@ from repro.simulation.parallel import SimWorkItem, resolve_jobs, run_work_item, 
 from repro.simulation.replication import ReplicatedResult, replicate
 from repro.simulation.rng import ReplayableDraws, SimulationStreams, make_streams, replica_seeds
 from repro.simulation.runner import (
+    TRAJECTORY_VERSION,
     SimulationConfig,
     SimulationResult,
     SimulationSession,
@@ -40,4 +41,5 @@ __all__ = [
     "SimTrafficPattern",
     "MessageLevelWormholeSimulator",
     "RawRunResult",
+    "TRAJECTORY_VERSION",
 ]

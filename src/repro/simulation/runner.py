@@ -18,9 +18,26 @@ from repro.simulation.rng import ReplayableDraws, make_streams
 from repro.simulation.traffic import SimTrafficPattern
 from repro.simulation.wormhole import MessageLevelWormholeSimulator, RawRunResult
 
-__all__ = ["SimulationConfig", "SimulationResult", "SimulationSession", "simulate"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationSession",
+    "TRAJECTORY_VERSION",
+    "simulate",
+]
 
 GRANULARITIES = ("message", "flit")
+
+#: Version tag of the simulators' *trajectories*, embedded in on-disk cache
+#: keys (:mod:`repro.io.cache`) alongside the run's spec-level inputs.  Bump
+#: whenever a change alters any number a simulator run produces for a fixed
+#: (spec, seed, window, granularity) — event ordering, RNG consumption,
+#: drain arithmetic — so cached simulator curves are orphaned rather than
+#: silently reused across incompatible engines.  One tag covers **both**
+#: engines this module dispatches to (:mod:`repro.simulation.wormhole` and
+#: :mod:`repro.simulation.flitsim`); it lives here, at the dispatch point,
+#: so a change to either engine is a change to this module's contract.
+TRAJECTORY_VERSION = "sim/1"
 
 
 @dataclass(frozen=True)

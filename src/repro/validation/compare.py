@@ -50,14 +50,19 @@ class ValidationCurve:
     sim_results: tuple[SimulationResult, ...]
 
     def max_abs_error(self, *, load_fraction_below: float = 1.0) -> float:
-        """Largest |relative error| over points with load ≤ fraction·max."""
+        """Largest |relative error| over points with load ≤ fraction·max.
+
+        Delegates to :func:`repro.analysis.accuracy.max_abs_error` under
+        the ``"skip"`` policy — validation curves intentionally run up to
+        the knee, so saturated points are ignored rather than scored.
+        """
+        from repro.analysis.accuracy import max_abs_error as metric
+
         max_load = max(p.load for p in self.points)
         errors = [
-            abs(p.relative_error)
-            for p in self.points
-            if p.load <= load_fraction_below * max_load and np.isfinite(p.relative_error)
+            p.relative_error for p in self.points if p.load <= load_fraction_below * max_load
         ]
-        return max(errors) if errors else float("nan")
+        return metric(errors, nonfinite="skip") if errors else float("nan")
 
     def as_rows(self) -> list[tuple[float, float, float, float]]:
         """(load, model, sim, rel_error) rows for reporting."""

@@ -1,0 +1,135 @@
+"""Accuracy-metric tests (repro.analysis.accuracy).
+
+The metrics are shared by the validation harness and the calibration
+engine, so the contracts locked here — exact arithmetic, non-finite
+policies, delegation from ``ValidationCurve`` — underpin both.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    ACCURACY_METRICS,
+    light_load_error,
+    max_abs_error,
+    relative_errors,
+    rms_weighted,
+    score_errors,
+)
+from repro.validation.compare import ValidationCurve, ValidationPoint
+
+
+class TestRelativeErrors:
+    def test_exact_expression(self):
+        errors = relative_errors([11.0, 9.0], [10.0, 10.0])
+        assert errors.tolist() == [(11.0 - 10.0) / 10.0, (9.0 - 10.0) / 10.0]
+
+    def test_matches_validation_point(self):
+        point = ValidationPoint(
+            load=1e-3, model_latency=37.21, sim_latency=35.04, sim_std=1.0, sim_completed=True
+        )
+        assert relative_errors([37.21], [35.04])[0] == point.relative_error
+
+    def test_nonfinite_model_is_nan(self):
+        errors = relative_errors([math.inf, 10.0], [10.0, 10.0])
+        assert math.isnan(errors[0]) and errors[1] == 0.0
+
+    def test_zero_sim_is_nan(self):
+        assert math.isnan(relative_errors([10.0], [0.0])[0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            relative_errors([1.0], [1.0, 2.0])
+
+
+class TestMaxAbsError:
+    def test_takes_largest_magnitude(self):
+        assert max_abs_error([0.05, -0.12, 0.03]) == 0.12
+
+    def test_propagate_policy_is_default(self):
+        assert max_abs_error([0.05, math.nan]) == math.inf
+
+    def test_skip_policy_ignores_nonfinite(self):
+        assert max_abs_error([0.05, math.nan], nonfinite="skip") == 0.05
+
+    def test_skip_policy_all_nonfinite_is_nan(self):
+        assert math.isnan(max_abs_error([math.nan], nonfinite="skip"))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="nonfinite must be one of"):
+            max_abs_error([0.1], nonfinite="ignore")
+
+
+class TestLightLoadError:
+    def test_picks_the_lightest_load(self):
+        # Order-independent: the error at the smallest load wins.
+        assert light_load_error([3e-4, 1e-4, 2e-4], [0.5, -0.04, 0.2]) == 0.04
+
+    def test_nonfinite_at_light_load_is_inf(self):
+        assert light_load_error([1e-4, 2e-4], [math.nan, 0.1]) == math.inf
+
+    def test_nonfinite_elsewhere_is_ignored(self):
+        assert light_load_error([1e-4, 2e-4], [0.1, math.nan]) == 0.1
+
+
+class TestRmsWeighted:
+    def test_exact_formula(self):
+        loads = np.array([1.0, 3.0])
+        errors = np.array([0.1, -0.2])
+        expected = math.sqrt((1.0 * 0.01 + 3.0 * 0.04) / 4.0)
+        assert rms_weighted(loads, errors) == expected
+
+    def test_heavier_loads_count_more(self):
+        # The same error pair scores worse when the bad point carries the
+        # heavier load.
+        bad_at_heavy = rms_weighted([1.0, 9.0], [0.01, 0.5])
+        bad_at_light = rms_weighted([1.0, 9.0], [0.5, 0.01])
+        assert bad_at_heavy > bad_at_light
+
+    def test_propagate_policy(self):
+        assert rms_weighted([1.0, 2.0], [0.1, math.nan]) == math.inf
+        assert rms_weighted([1.0, 2.0], [0.1, math.nan], nonfinite="skip") == 0.1
+
+    def test_requires_positive_loads(self):
+        with pytest.raises(ValueError, match="loads must be positive"):
+            rms_weighted([0.0, 1.0], [0.1, 0.1])
+
+
+class TestScoreErrors:
+    def test_covers_every_registered_metric(self):
+        scores = score_errors([1e-4, 2e-4], [0.1, -0.2])
+        assert tuple(scores) == ACCURACY_METRICS
+        assert scores["max_abs_error"] == 0.2
+        assert scores["light_load_error"] == 0.1
+
+    def test_saturated_point_poisons_curve_scores(self):
+        scores = score_errors([1e-4, 2e-4], [0.1, math.nan])
+        assert scores["max_abs_error"] == math.inf
+        assert scores["rms_weighted"] == math.inf
+        # ... but the light-load point itself is still finite.
+        assert scores["light_load_error"] == 0.1
+
+
+class TestValidationCurveDelegation:
+    def _curve(self, points):
+        return ValidationCurve(label="t", points=tuple(points), sim_results=())
+
+    def _point(self, load, model, sim):
+        return ValidationPoint(
+            load=load, model_latency=model, sim_latency=sim, sim_std=0.0, sim_completed=True
+        )
+
+    def test_max_abs_error_skips_saturated_points(self):
+        curve = self._curve(
+            [self._point(1e-4, 11.0, 10.0), self._point(2e-4, math.inf, 20.0)]
+        )
+        assert curve.max_abs_error() == 0.1
+
+    def test_load_fraction_filter_preserved(self):
+        curve = self._curve(
+            [self._point(1e-4, 11.0, 10.0), self._point(1e-3, 30.0, 20.0)]
+        )
+        assert curve.max_abs_error() == 0.5
+        assert curve.max_abs_error(load_fraction_below=0.5) == pytest.approx(0.1)

@@ -25,6 +25,7 @@ class TestParser:
             "capacity",
             "whatif",
             "explore",
+            "calibrate",
             "report",
             "scenarios",
             "export-config",
@@ -86,6 +87,15 @@ class TestSweep:
         assert code == 0
         assert out.count("\n") >= 6
         assert "lambda_g" in out
+
+    def test_scenario_list_rejects_config(self, capsys, tmp_path):
+        """A multi-scenario list bypasses resolve_spec, so --config must be
+        rejected loudly, never silently dropped."""
+        code, _, err = run_cli(
+            capsys, "sweep", "--scenario", "544,1120", "--config", str(tmp_path / "x.json")
+        )
+        assert code == 2
+        assert "conflicts with --config/--system" in err
 
 
 class TestSimulate:
@@ -487,3 +497,99 @@ class TestExplore:
         payload = load_json(out)
         for value in payload["data"]["columns"]["lambda_at_budget"]:
             assert value > 0
+
+
+class TestCalibrate:
+    @pytest.fixture()
+    def tiny_config(self, tmp_path):
+        from repro.cluster import homogeneous_system
+        from repro.core import MessageSpec
+        from repro.scenarios import ScenarioSpec
+
+        path = tmp_path / "tiny.json"
+        ScenarioSpec(
+            name="tiny",
+            system=homogeneous_system(switch_ports=4, tree_depth=2, num_clusters=4),
+            message=MessageSpec(16, 256.0),
+        ).save(path)
+        return str(path)
+
+    def test_vary_run_with_csv_out(self, capsys, tiny_config, tmp_path):
+        from repro.io import load_curve_csv
+
+        out = tmp_path / "cal.csv"
+        code, text, _ = run_cli(
+            capsys, "calibrate", "--config", tiny_config,
+            "--vary", "relaxing_factor=true,false",
+            "--messages", "200", "--out", str(out),
+        )
+        assert code == 0
+        assert "calibration of 2 option combinations" in text
+        assert "global winner:" in text
+        columns = load_curve_csv(out)
+        assert columns["combination"] == ["relaxing_factor=True", "relaxing_factor=False"]
+        assert columns["relaxing_factor"] == [True, False]
+
+    def test_fix_restricts_the_space(self, capsys, tiny_config):
+        code, text, _ = run_cli(
+            capsys, "calibrate", "--config", tiny_config,
+            "--fix", "tcn_convention=half_network_latency",
+            "--fix", "source_queue_rate=paper",
+            "--fix", "variance_approximation=paper",
+            "--fix", "inter_average=paper",
+            "--fix", "concentrator_rate=pair_mean",
+            "--fractions", "0.2,0.5",
+            "--messages", "200", "--seed", "2", "--seed-stride", "0",
+        )
+        assert code == 0
+        assert "calibration of 2 option combinations" in text
+        assert "loads at 0.2, 0.5" in text
+
+    def test_cache_serves_second_run(self, capsys, tiny_config, tmp_path):
+        cache = str(tmp_path / "cache")
+        args = (
+            "calibrate", "--config", tiny_config,
+            "--vary", "relaxing_factor=true,false",
+            "--messages", "200", "--cache", cache,
+        )
+        code, first, _ = run_cli(capsys, *args)
+        assert code == 0 and "simulated 4 point(s) (0 of 1 curves from cache" in first
+        code, second, _ = run_cli(capsys, *args, "--jobs", "2")
+        assert code == 0 and "simulated 0 point(s) (1 of 1 curves from cache" in second
+        strip = lambda text: [l for l in text.splitlines() if not l.startswith("simulated")]
+        assert strip(first) == strip(second)
+
+    def test_unknown_fix_knob_is_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "calibrate", "--scenario", "544", "--fix", "drain_model=x"
+        )
+        assert code == 2
+        assert "unknown model option" in err
+
+    def test_bad_vary_value_is_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "calibrate", "--scenario", "544", "--vary", "relaxing_factor=maybe"
+        )
+        assert code == 2
+        assert "relaxing_factor must be true/false" in err
+
+    def test_bad_fractions_is_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "calibrate", "--scenario", "544", "--fractions", "0.2;0.4"
+        )
+        assert code == 2
+        assert "--fractions" in err
+
+    def test_multi_scenario_rejects_overrides(self, capsys):
+        code, _, err = run_cli(
+            capsys, "calibrate", "--scenario", "544,1120", "--flits", "64"
+        )
+        assert code == 2
+        assert "does not support" in err
+
+    def test_multi_scenario_rejects_config(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "calibrate", "--scenario", "544,1120", "--config", str(tmp_path / "x.json")
+        )
+        assert code == 2
+        assert "conflicts with --config/--system" in err

@@ -1,0 +1,56 @@
+"""Documentation integrity tests (tools/check_docs.py).
+
+The docs CI job runs the same checker; keeping it in the tier-1 suite
+means a broken link or a bit-rotted quickstart block fails locally, not
+only on CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CHECKER = ROOT / "tools" / "check_docs.py"
+
+
+def run_checker(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *args],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_links_and_navigation():
+    """Relative links resolve; index links every page and back."""
+    proc = run_checker("--links-only")
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+
+
+def test_quickstart_blocks_run_clean():
+    """Every fenced bash block of docs/index.md exits 0 (tiny workloads)."""
+    proc = run_checker()
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "quickstart block(s) ran clean" in proc.stdout
+
+
+def test_checker_catches_a_broken_link(tmp_path):
+    """The checker itself fails loudly on a dangling target."""
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "index.md").write_text("# index\n[gone](missing.md)\n")
+    # Point the module at the scratch tree by copying it next to it.
+    tools = tmp_path / "tools"
+    tools.mkdir()
+    (tools / "check_docs.py").write_text(CHECKER.read_text())
+    proc = subprocess.run(
+        [sys.executable, str(tools / "check_docs.py"), "--links-only"],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 1
+    assert "broken link -> missing.md" in proc.stderr

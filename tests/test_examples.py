@@ -1,0 +1,50 @@
+"""Smoke-run every example script (examples/*.py).
+
+The examples are living documentation; before this module nothing
+executed them, so API drift silently rotted the walkthroughs.  Each runs
+here as a subprocess with a tiny simulation budget
+(``REPRO_EXAMPLE_MESSAGES``) — slow-safe: the sim-heavy scripts read the
+knob, the model-only ones finish in seconds regardless.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_every_example_is_collected():
+    """Glob sanity: the walkthroughs this suite promises to cover exist."""
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "capacity_planning.py",
+        "heterogeneity_study.py",
+        "nonuniform_traffic.py",
+        "simulator_deep_dive.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_EXAMPLE_MESSAGES"] = "300"  # tiny load grids for the smoke run
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
+    # Every walkthrough narrates its findings; silence means breakage.
+    assert len(proc.stdout.strip()) > 0, f"{script.name} printed nothing"

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Documentation checker: link integrity + runnable quickstart blocks.
+
+Three checks, all enforced by the docs CI job and by
+``tests/test_docs.py``:
+
+1. **Links** — every markdown link with a relative target in
+   ``docs/*.md`` and ``README.md`` resolves to an existing file
+   (``#fragment`` suffixes stripped; ``http(s)://``/``mailto:`` skipped).
+2. **Navigation** — ``docs/index.md`` links every other ``docs/*.md``
+   page, and every page links back to ``index.md`` (the index stays the
+   single entry point as pages are added).
+3. **Quickstart** — every fenced ```` ```bash ```` block in
+   ``docs/index.md`` runs to completion with exit 0 (``bash -euo
+   pipefail``, repo root as cwd, ``src/`` prepended to ``PYTHONPATH`` so
+   the check works both in-tree and against an installed package).
+
+Usage::
+
+    python tools/check_docs.py               # everything
+    python tools/check_docs.py --links-only  # skip running the bash blocks
+
+Exits 0 when every check passes, 1 otherwise (failures listed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ROOT / "docs"
+
+# Inline markdown links [text](target); reference-style links are not used
+# in this repository's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_BASH_FENCE = re.compile(r"^```bash\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files() -> list[Path]:
+    files = sorted(DOCS.glob("*.md"))
+    readme = ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def _targets(path: Path) -> list[str]:
+    return _LINK.findall(path.read_text(encoding="utf-8"))
+
+
+def check_links() -> list[str]:
+    """Relative link targets must exist on disk."""
+    failures = []
+    for path in _markdown_files():
+        for target in _targets(path):
+            if target.startswith(_EXTERNAL):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:  # pure in-page anchor
+                continue
+            if not (path.parent / rel).exists():
+                failures.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    return failures
+
+
+def check_navigation() -> list[str]:
+    """index.md links every doc page; every doc page links back."""
+    index = DOCS / "index.md"
+    if not index.exists():
+        return ["docs/index.md is missing"]
+    index_targets = {t.split("#", 1)[0] for t in _targets(index)}
+    failures = []
+    for page in sorted(DOCS.glob("*.md")):
+        if page.name == "index.md":
+            continue
+        if page.name not in index_targets:
+            failures.append(f"docs/index.md does not link {page.name}")
+        back = {t.split("#", 1)[0] for t in _targets(page)}
+        if "index.md" not in back:
+            failures.append(f"docs/{page.name} does not link back to index.md")
+    return failures
+
+
+def run_quickstart_blocks() -> tuple[list[str], int]:
+    """Every fenced bash block of index.md must exit 0."""
+    index = DOCS / "index.md"
+    if not index.exists():
+        # check_navigation already reports the missing index; there is
+        # simply nothing to run.
+        return [], 0
+    blocks = _BASH_FENCE.findall(index.read_text(encoding="utf-8"))
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    failures = []
+    for number, block in enumerate(blocks, start=1):
+        proc = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", block],
+            cwd=ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            failures.append(
+                f"docs/index.md bash block #{number} exited {proc.returncode}:\n"
+                f"{block.rstrip()}\n--- stderr ---\n{proc.stderr.rstrip()}"
+            )
+    return failures, len(blocks)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links-only",
+        action="store_true",
+        help="check links and navigation only; skip running the bash blocks",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check_links() + check_navigation()
+    n_blocks = 0
+    if not args.links_only:
+        block_failures, n_blocks = run_quickstart_blocks()
+        failures += block_failures
+
+    n_files = len(_markdown_files())
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"\n{len(failures)} docs check(s) failed", file=sys.stderr)
+        return 1
+    ran = "" if args.links_only else f", {n_blocks} quickstart block(s) ran clean"
+    print(f"docs OK: {n_files} markdown file(s) link-checked{ran}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
