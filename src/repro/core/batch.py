@@ -53,6 +53,7 @@ evaluations.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -86,7 +87,7 @@ ENGINE_VERSION = "batch/1"
 def refine_monotone_crossing(
     lo: float,
     hi: float,
-    crossed: "callable",
+    crossed: Callable[[np.ndarray], np.ndarray],
     *,
     rel_tol: float,
     points: int = 33,
@@ -805,7 +806,9 @@ class BatchedModel:
     _ROOT_REL_TOL = 1e-13
 
     def _source_queue_saturation(
-        self, rate_of_many: "callable", latency_of_many: "callable"
+        self,
+        rate_of_many: Callable[[np.ndarray], np.ndarray],
+        latency_of_many: Callable[[np.ndarray], np.ndarray],
     ) -> float:
         """λ* solving ``rate(λ) · T(λ) = 1`` for one source queue.
 

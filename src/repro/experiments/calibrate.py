@@ -60,6 +60,7 @@ from repro.core.model import AnalyticalModel
 from repro.core.parameters import ModelOptions
 from repro.experiments.experiment import ExperimentResult
 from repro.io.cache import ResultCache, canonical_numbers, content_key
+from repro.io.schemas import CALIBRATION_SCHEMA, SIM_CURVE_SCHEMA
 from repro.scenarios.grid import as_axis, format_axis_value
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
@@ -71,12 +72,6 @@ __all__ = [
     "option_combinations",
     "sim_curve_key",
 ]
-
-#: Schema tag of a serialised calibration result (bump on breaking change).
-CALIBRATION_SCHEMA = "repro.calibration/1"
-
-#: Schema tag of one cached simulator curve (bump on payload change).
-SIM_CURVE_SCHEMA = "repro.sim-curve/1"
 
 #: Default load fractions of the reference saturation load — light through
 #: heavy, matching the hand-written ablation benches' operating points.

@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro._util import require, require_positive
+from repro._util import reject_unknown_keys, require, require_positive
 from repro.analysis.bottleneck import model_bottlenecks
 from repro.analysis.capacity import max_load_for_latency
 from repro.analysis.tables import render_series, render_table
@@ -34,13 +34,11 @@ from repro.core.batch import BatchedModel
 from repro.core.model import AnalyticalModel
 from repro.core.sweep import sweep_load
 from repro.io.results import to_jsonable
+from repro.io.schemas import EXPERIMENT_SCHEMA
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["Experiment", "ExperimentResult", "EXPERIMENT_SCHEMA"]
-
-#: Schema tag written into every serialised result (bump on breaking change).
-EXPERIMENT_SCHEMA = "repro.experiment/1"
 
 
 @dataclass(frozen=True)
@@ -76,6 +74,37 @@ class ExperimentResult:
     def to_dict(self) -> dict:
         """JSON-safe dict with the stable result schema."""
         return to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a saved result from a :meth:`to_dict` mapping.
+
+        Unknown keys and foreign schemas are rejected.  Payload values
+        come back JSON-native (``to_dict`` flattens numpy arrays to
+        lists), so ``from_dict(r.to_dict()).to_dict() == r.to_dict()``
+        holds for every result kind — the on-disk form is the fixed
+        point, not the in-memory one.
+        """
+        reject_unknown_keys(
+            data,
+            ("kind", "scenario", "spec", "data", "text", "schema"),
+            "experiment result",
+            required=("kind", "scenario", "spec", "data"),
+        )
+        schema = data.get("schema", EXPERIMENT_SCHEMA)
+        require(
+            schema == EXPERIMENT_SCHEMA,
+            f"unsupported experiment schema {schema!r} "
+            f"(this build reads {EXPERIMENT_SCHEMA!r})",
+        )
+        return cls(
+            kind=data["kind"],
+            scenario=data["scenario"],
+            spec=data["spec"],
+            data=data["data"],
+            text=data.get("text", ""),
+            schema=schema,
+        )
 
     def columns(self) -> dict:
         """The result's tabular columns (for CSV export).

@@ -49,13 +49,11 @@ from repro.analysis.tables import render_table
 from repro.core.batch import ENGINE_VERSION, BatchedModel, refine_monotone_crossing
 from repro.experiments.experiment import ExperimentResult
 from repro.io.cache import ResultCache, canonical_numbers, content_key
+from repro.io.schemas import EXPLORE_CELL_SCHEMA
 from repro.scenarios.grid import DesignGrid, format_axis_value
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["EXPLORE_CELL_SCHEMA", "cell_cache_key", "explore_grid"]
-
-#: Schema tag of one cached cell entry (bump on metric-set change).
-EXPLORE_CELL_SCHEMA = "repro.explore-cell/1"
 
 #: Column order of the long-format table (after the cell name and axes).
 _METRIC_COLUMNS = (

@@ -15,8 +15,24 @@ from repro.io.results import (
     save_json,
     to_jsonable,
 )
+from repro.io.schemas import (
+    CALIBRATION_SCHEMA,
+    EXPERIMENT_SCHEMA,
+    EXPLORE_CELL_SCHEMA,
+    GRID_SCHEMA,
+    SCENARIO_SCHEMA,
+    SIM_CURVE_SCHEMA,
+    declared_schemas,
+)
 
 __all__ = [
+    "SCENARIO_SCHEMA",
+    "GRID_SCHEMA",
+    "EXPERIMENT_SCHEMA",
+    "EXPLORE_CELL_SCHEMA",
+    "CALIBRATION_SCHEMA",
+    "SIM_CURVE_SCHEMA",
+    "declared_schemas",
     "to_jsonable",
     "from_jsonable",
     "save_json",

@@ -1,0 +1,53 @@
+"""The single registry of on-disk schema tags (``repro.<kind>/<version>``).
+
+Every serialised artifact the library writes — scenario configs, design
+grids, experiment results, cache entries — carries a schema tag so a
+reader can refuse (or migrate) documents written by an incompatible
+build.  All tags are *declared here and only here*; other modules import
+the named constants.  The ``reprolint`` gate (rule RS203) enforces the
+single-declaration invariant mechanically: a ``repro.*/N`` string
+literal anywhere else in ``src/repro`` fails CI.
+
+Bump a tag's ``/N`` suffix on any breaking change to the corresponding
+document layout; readers validate against the constant, so old documents
+are rejected with a clear message rather than misread.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CALIBRATION_SCHEMA",
+    "EXPERIMENT_SCHEMA",
+    "EXPLORE_CELL_SCHEMA",
+    "GRID_SCHEMA",
+    "SCENARIO_SCHEMA",
+    "SIM_CURVE_SCHEMA",
+    "declared_schemas",
+]
+
+#: One fully-described study (:class:`repro.scenarios.ScenarioSpec`).
+SCENARIO_SCHEMA = "repro.scenario/1"
+
+#: A base scenario plus parameter axes (:class:`repro.scenarios.DesignGrid`).
+GRID_SCHEMA = "repro.grid/1"
+
+#: Uniform workflow results (:class:`repro.experiments.ExperimentResult`).
+EXPERIMENT_SCHEMA = "repro.experiment/1"
+
+#: One cached design-space cell (:func:`repro.experiments.explore_grid`).
+EXPLORE_CELL_SCHEMA = "repro.explore-cell/1"
+
+#: A full calibration study (:func:`repro.experiments.calibrate_options`).
+CALIBRATION_SCHEMA = "repro.calibration/1"
+
+#: One cached simulator ground-truth curve (calibration's memoised runs).
+SIM_CURVE_SCHEMA = "repro.sim-curve/1"
+
+
+def declared_schemas() -> dict[str, str]:
+    """Constant name -> tag for every declared schema (for tooling/tests)."""
+    return {
+        name: globals()[name]
+        for name in __all__
+        if name.endswith("_SCHEMA")
+    }

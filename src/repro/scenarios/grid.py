@@ -35,12 +35,10 @@ from pathlib import Path
 
 from repro._util import reject_unknown_keys, require
 from repro.io.results import from_jsonable, load_json, save_json, to_jsonable
+from repro.io.schemas import GRID_SCHEMA
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["AxisSpec", "DesignGrid", "GridCell", "GRID_SCHEMA", "as_axis", "format_axis_value"]
-
-#: Schema tag written into every serialised grid (bump on breaking change).
-GRID_SCHEMA = "repro.grid/1"
 
 #: Spec sections an axis may traverse (naming/schema fields are derived).
 _AXIS_ROOTS = ("system", "message", "options", "pattern", "load_grid", "latency_budget")

@@ -31,12 +31,10 @@ import numpy as np
 from repro._util import reject_unknown_keys, require, require_int
 from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
 from repro.io.results import from_jsonable, load_json, save_json, to_jsonable
+from repro.io.schemas import SCENARIO_SCHEMA
 from repro.workloads.patterns import pattern_from_dict, pattern_to_dict
 
 __all__ = ["LoadGridPolicy", "ScenarioSpec", "SCENARIO_SCHEMA"]
-
-#: Schema tag written into every serialised spec (bump on breaking change).
-SCENARIO_SCHEMA = "repro.scenario/1"
 
 
 @dataclass(frozen=True)

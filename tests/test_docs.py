@@ -33,7 +33,7 @@ def test_quickstart_blocks_run_clean():
     """Every fenced bash block of docs/index.md exits 0 (tiny workloads)."""
     proc = run_checker()
     assert proc.returncode == 0, proc.stderr or proc.stdout
-    assert "quickstart block(s) ran clean" in proc.stdout
+    assert "quickstart block(s) ran clean" in proc.stderr
 
 
 def test_checker_catches_a_broken_link(tmp_path):
@@ -53,4 +53,7 @@ def test_checker_catches_a_broken_link(tmp_path):
         timeout=60,
     )
     assert proc.returncode == 1
-    assert "broken link -> missing.md" in proc.stderr
+    # Diagnostics follow the shared tooling convention: path:line: CODE
+    # on stdout, summary on stderr (same shape as tools.reprolint).
+    assert "docs/index.md:2: DOC001 broken link -> missing.md" in proc.stdout
+    assert "problem(s)" in proc.stderr

@@ -122,6 +122,47 @@ class TestResultSchema:
         with pytest.raises(ValueError, match="no tabular columns"):
             exp_1120.describe().columns()
 
+    def test_from_dict_round_trip(self, exp_1120):
+        """Regression: ExperimentResult gained from_dict (RS201) — the
+        serialised form is the fixed point since to_dict flattens arrays."""
+        from repro.experiments import ExperimentResult
+
+        result = exp_1120.saturation()
+        payload = result.to_dict()
+        restored = ExperimentResult.from_dict(payload)
+        assert restored.to_dict() == payload
+        assert restored.kind == result.kind
+        assert restored.scenario == result.scenario
+        assert restored.schema == EXPERIMENT_SCHEMA
+
+    def test_from_dict_defaults_schema_and_text(self):
+        from repro.experiments import ExperimentResult
+
+        restored = ExperimentResult.from_dict(
+            {"kind": "k", "scenario": "s", "spec": {}, "data": {"x": 1}}
+        )
+        assert restored.schema == EXPERIMENT_SCHEMA
+        assert restored.text == ""
+
+    def test_from_dict_rejects_unknown_keys(self):
+        from repro.experiments import ExperimentResult
+
+        with pytest.raises(ValueError, match="unknown"):
+            ExperimentResult.from_dict(
+                {"kind": "k", "scenario": "s", "spec": {}, "data": {}, "bogus": 1}
+            )
+
+    def test_from_dict_rejects_foreign_schema(self):
+        from repro.experiments import ExperimentResult
+
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentResult.from_dict(
+                {
+                    "kind": "k", "scenario": "s", "spec": {}, "data": {},
+                    "schema": "repro.experiment/999",
+                }
+            )
+
 
 class TestWorkflows:
     def test_describe(self, exp_1120):

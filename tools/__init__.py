@@ -1,0 +1,6 @@
+"""Repository tooling: static-analysis gates and documentation checks.
+
+``tools`` is a plain package so the gates are runnable as modules from the
+repository root (``python -m tools.reprolint``, ``python -m tools.run_checks``)
+without any installation step.
+"""

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation checker: link integrity + runnable quickstart blocks.
 
-Three checks, all enforced by the docs CI job and by
+Three checks, all enforced by the CI lint job and by
 ``tests/test_docs.py``:
 
 1. **Links** — every markdown link with a relative target in
@@ -15,12 +15,19 @@ Three checks, all enforced by the docs CI job and by
    pipefail``, repo root as cwd, ``src/`` prepended to ``PYTHONPATH`` so
    the check works both in-tree and against an installed package).
 
+Output follows the repository's tooling convention (shared with
+``python -m tools.reprolint`` and wrapped by ``tools/run_checks.py``):
+one ``path:line: CODE message`` diagnostic per line on stdout, a summary
+on stderr, exit 0 when clean, 1 on diagnostics, 2 on usage errors.
+
+Codes: ``DOC001`` broken link, ``DOC002`` page missing from the index,
+``DOC003`` page without a backlink to the index, ``DOC004`` quickstart
+block failed, ``DOC005`` index missing.
+
 Usage::
 
     python tools/check_docs.py               # everything
     python tools/check_docs.py --links-only  # skip running the bash blocks
-
-Exits 0 when every check passes, 1 otherwise (failures listed on stderr).
 """
 
 from __future__ import annotations
@@ -42,6 +49,14 @@ _BASH_FENCE = re.compile(r"^```bash\n(.*?)^```", re.MULTILINE | re.DOTALL)
 
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: (rel_path, line, code, message) — same shape reprolint renders.
+Diag = tuple[str, int, str, str]
+
+
+def _render(diag: Diag) -> str:
+    path, line, code, message = diag
+    return f"{path}:{line}: {code} {message}"
+
 
 def _markdown_files() -> list[Path]:
     files = sorted(DOCS.glob("*.md"))
@@ -55,54 +70,69 @@ def _targets(path: Path) -> list[str]:
     return _LINK.findall(path.read_text(encoding="utf-8"))
 
 
-def check_links() -> list[str]:
-    """Relative link targets must exist on disk."""
-    failures = []
+def _targets_with_lines(path: Path) -> list[tuple[int, str]]:
+    out = []
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        out.extend((number, target) for target in _LINK.findall(line))
+    return out
+
+
+def check_links() -> list[Diag]:
+    """Relative link targets must exist on disk (DOC001)."""
+    diags: list[Diag] = []
     for path in _markdown_files():
-        for target in _targets(path):
+        rel_path = path.relative_to(ROOT).as_posix()
+        for line, target in _targets_with_lines(path):
             if target.startswith(_EXTERNAL):
                 continue
             rel = target.split("#", 1)[0]
             if not rel:  # pure in-page anchor
                 continue
             if not (path.parent / rel).exists():
-                failures.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
-    return failures
+                diags.append((rel_path, line, "DOC001", f"broken link -> {target}"))
+    return diags
 
 
-def check_navigation() -> list[str]:
-    """index.md links every doc page; every doc page links back."""
+def check_navigation() -> list[Diag]:
+    """index.md links every doc page (DOC002); pages link back (DOC003)."""
     index = DOCS / "index.md"
     if not index.exists():
-        return ["docs/index.md is missing"]
+        return [("docs/index.md", 1, "DOC005", "documentation index is missing")]
     index_targets = {t.split("#", 1)[0] for t in _targets(index)}
-    failures = []
+    diags: list[Diag] = []
     for page in sorted(DOCS.glob("*.md")):
         if page.name == "index.md":
             continue
         if page.name not in index_targets:
-            failures.append(f"docs/index.md does not link {page.name}")
+            diags.append(
+                ("docs/index.md", 1, "DOC002", f"does not link {page.name}")
+            )
         back = {t.split("#", 1)[0] for t in _targets(page)}
         if "index.md" not in back:
-            failures.append(f"docs/{page.name} does not link back to index.md")
-    return failures
+            diags.append(
+                (f"docs/{page.name}", 1, "DOC003", "does not link back to index.md")
+            )
+    return diags
 
 
-def run_quickstart_blocks() -> tuple[list[str], int]:
-    """Every fenced bash block of index.md must exit 0."""
+def run_quickstart_blocks() -> tuple[list[Diag], int]:
+    """Every fenced bash block of index.md must exit 0 (DOC004)."""
     index = DOCS / "index.md"
     if not index.exists():
         # check_navigation already reports the missing index; there is
         # simply nothing to run.
         return [], 0
-    blocks = _BASH_FENCE.findall(index.read_text(encoding="utf-8"))
+    text = index.read_text(encoding="utf-8")
     env = dict(os.environ)
     src = str(ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    failures = []
-    for number, block in enumerate(blocks, start=1):
+    diags: list[Diag] = []
+    matches = list(_BASH_FENCE.finditer(text))
+    for number, match in enumerate(matches, start=1):
+        block = match.group(1)
+        line = text.count("\n", 0, match.start()) + 1
         proc = subprocess.run(
             ["bash", "-euo", "pipefail", "-c", block],
             cwd=ROOT,
@@ -111,11 +141,14 @@ def run_quickstart_blocks() -> tuple[list[str], int]:
             text=True,
         )
         if proc.returncode != 0:
-            failures.append(
-                f"docs/index.md bash block #{number} exited {proc.returncode}:\n"
-                f"{block.rstrip()}\n--- stderr ---\n{proc.stderr.rstrip()}"
+            diags.append(
+                (
+                    "docs/index.md", line, "DOC004",
+                    f"bash block #{number} exited {proc.returncode}:\n"
+                    f"{block.rstrip()}\n--- stderr ---\n{proc.stderr.rstrip()}",
+                )
             )
-    return failures, len(blocks)
+    return diags, len(matches)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -127,20 +160,23 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    failures = check_links() + check_navigation()
+    diags = check_links() + check_navigation()
     n_blocks = 0
     if not args.links_only:
-        block_failures, n_blocks = run_quickstart_blocks()
-        failures += block_failures
+        block_diags, n_blocks = run_quickstart_blocks()
+        diags += block_diags
 
     n_files = len(_markdown_files())
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        print(f"\n{len(failures)} docs check(s) failed", file=sys.stderr)
+    if diags:
+        for diag in sorted(diags):
+            print(_render(diag))
+        print(f"check_docs: {len(diags)} problem(s)", file=sys.stderr)
         return 1
     ran = "" if args.links_only else f", {n_blocks} quickstart block(s) ran clean"
-    print(f"docs OK: {n_files} markdown file(s) link-checked{ran}")
+    print(
+        f"check_docs OK: {n_files} markdown file(s) link-checked{ran}",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -1,0 +1,187 @@
+"""Command-line runner: ``python -m tools.reprolint [paths ...]``.
+
+Lints the given files/directories (default ``src/repro``) with the AST
+rule families and checks the cache-version fingerprint manifest.  Output
+follows the repository's tooling convention (shared with
+``tools/check_docs.py``): one ``path:line:col: CODE message`` line per
+diagnostic on stdout, a summary on stderr, exit 0 when clean, 1 on
+diagnostics, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint import RULES, Diagnostic
+from tools.reprolint.baseline import (
+    DEFAULT_BASELINE,
+    filter_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.reprolint.fingerprint import (
+    DEFAULT_MANIFEST,
+    check_fingerprints,
+    write_manifest,
+)
+from tools.reprolint.rules import lint_source
+
+__all__ = ["main"]
+
+
+def _python_files(paths: list[Path]) -> list[Path]:
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        else:
+            out.append(path)
+    return out
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: list[Path],
+    root: Path,
+    *,
+    manifest: "Path | None" = None,
+    select: "set[str] | None" = None,
+    fingerprints: bool = True,
+) -> list[Diagnostic]:
+    """All diagnostics for *paths*, fingerprints included (library entry).
+
+    *select* filters by code or family prefix (``{"RD"}``, ``{"RS203"}``).
+    """
+    diags: list[Diagnostic] = []
+    for path in _python_files(paths):
+        rel = _relative(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"reprolint: cannot read {path}: {exc}")
+        try:
+            diags.extend(lint_source(source, rel))
+        except SyntaxError as exc:
+            raise SystemExit(f"reprolint: cannot parse {rel}: {exc}")
+    if fingerprints:
+        diags.extend(check_fingerprints(root, manifest))
+    if select:
+        diags = [d for d in diags if any(d.code.startswith(s) for s in select)]
+    return sorted(diags, key=lambda d: (d.path, d.line, d.col, d.code))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based invariant linter for the repro package",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: current directory)",
+    )
+    parser.add_argument(
+        "--manifest", type=Path, default=None,
+        help=f"fingerprint manifest (default: {DEFAULT_MANIFEST.name} beside the package)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE.name} beside the package)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule codes or family prefixes to run (e.g. RD,RS203)",
+    )
+    parser.add_argument(
+        "--no-fingerprints", action="store_true",
+        help="skip the RF manifest check (AST rules only)",
+    )
+    parser.add_argument(
+        "--write-fingerprints", action="store_true",
+        help="regenerate the fingerprint manifest from the current tree and exit",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="record every current diagnostic as accepted and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, description in RULES.items():
+            print(f"{code}  {description}")
+        return 0
+
+    root = (args.root or Path.cwd()).resolve()
+
+    if args.write_fingerprints:
+        try:
+            path = write_manifest(root, args.manifest)
+        except (OSError, ValueError) as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {s.strip() for s in args.select.split(",") if s.strip()}
+        unknown = [s for s in select if not any(code.startswith(s) for code in RULES)]
+        if unknown:
+            print(f"reprolint: unknown rule selector(s) {sorted(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) if Path(p).is_absolute() else root / p for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"reprolint: no such path(s): {[str(p) for p in missing]}",
+            file=sys.stderr,
+        )
+        return 2
+
+    diags = lint_paths(
+        paths, root,
+        manifest=args.manifest,
+        select=select,
+        fingerprints=not args.no_fingerprints,
+    )
+
+    if args.update_baseline:
+        path = write_baseline(diags, args.baseline)
+        print(f"wrote {path} ({len(diags)} suppression(s))")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    diags, suppressed = filter_baseline(diags, baseline)
+
+    for diag in diags:
+        print(diag.render())
+    note = f", {suppressed} suppressed by baseline" if suppressed else ""
+    if diags:
+        print(f"reprolint: {len(diags)} problem(s){note}", file=sys.stderr)
+        return 1
+    print(f"reprolint OK{note}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Committed baseline: known, accepted diagnostics that do not fail CI.
+
+The baseline lets the gate land strict rules on an imperfect tree: every
+pre-existing finding is recorded once (``--update-baseline``) and new
+code is held to the full standard.  Entries are keyed on ``(code, path,
+symbol)`` — never line numbers — so unrelated edits to a file do not
+invalidate its suppressions.  The shipped baseline is empty (the tree is
+clean); it exists so future rules can be introduced without blocking on
+a flag-day fix of every violation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tools.reprolint import Diagnostic
+
+__all__ = ["BASELINE_SCHEMA", "DEFAULT_BASELINE", "filter_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_SCHEMA = "reprolint.baseline/1"
+
+#: Default baseline location, next to this module and committed with it.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: Path | None = None) -> set[str]:
+    """The suppressed-diagnostic keys; a missing file is an empty baseline."""
+    path = path or DEFAULT_BASELINE
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError:
+        return set()
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a reprolint baseline (expected schema "
+            f"{BASELINE_SCHEMA!r})"
+        )
+    entries = data.get("suppressions", [])
+    if not isinstance(entries, list) or not all(isinstance(e, str) for e in entries):
+        raise ValueError(f"{path}: 'suppressions' must be a list of strings")
+    return set(entries)
+
+
+def filter_baseline(
+    diags: list[Diagnostic], baseline: set[str]
+) -> tuple[list[Diagnostic], int]:
+    """Split *diags* into (reported, number suppressed by the baseline)."""
+    kept = [d for d in diags if d.baseline_key() not in baseline]
+    return kept, len(diags) - len(kept)
+
+
+def write_baseline(diags: list[Diagnostic], path: Path | None = None) -> Path:
+    """Record every current diagnostic as accepted (sorted, deduplicated)."""
+    path = path or DEFAULT_BASELINE
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "suppressions": sorted({d.baseline_key() for d in diags}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

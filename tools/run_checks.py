@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""One entry point for every static gate: reprolint + docs + mypy.
+
+Runs, in order, the same commands the CI lint/docs jobs run:
+
+1. ``python -m tools.reprolint src/repro`` — AST invariant rules and the
+   cache-version fingerprint manifest (see ``docs/static_analysis.md``).
+2. ``python tools/check_docs.py`` — link integrity, index navigation,
+   runnable quickstart blocks (``--links-only`` is forwarded).
+3. ``mypy --config-file mypy.ini src/repro tools`` — the typed-package
+   gate.  The local toolchain may not ship mypy; in that case this step
+   is *skipped with a notice* (CI always installs and runs it).
+
+All three tools share one convention: diagnostics as ``path:line[:col]:
+CODE message`` on stdout, summaries on stderr, exit 0 clean / 1 on
+diagnostics / 2 on usage errors.  This wrapper exits with the worst
+status across the gates it ran.
+
+Usage::
+
+    python tools/run_checks.py               # everything
+    python tools/run_checks.py --links-only  # docs: skip the bash blocks
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(label: str, argv: list[str]) -> int:
+    print(f"== {label}: {' '.join(argv)}", file=sys.stderr)
+    return subprocess.run(argv, cwd=ROOT).returncode
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links-only",
+        action="store_true",
+        help="forwarded to check_docs.py: skip running the quickstart blocks",
+    )
+    args = parser.parse_args(argv)
+
+    statuses = [
+        _run("reprolint", [sys.executable, "-m", "tools.reprolint", "src/repro"]),
+        _run(
+            "docs",
+            [sys.executable, "tools/check_docs.py"]
+            + (["--links-only"] if args.links_only else []),
+        ),
+    ]
+
+    if importlib.util.find_spec("mypy") is not None:
+        statuses.append(
+            _run(
+                "mypy",
+                [
+                    sys.executable, "-m", "mypy",
+                    "--config-file", "mypy.ini", "src/repro", "tools",
+                ],
+            )
+        )
+    else:
+        print(
+            "== mypy: not installed in this environment, skipping "
+            "(CI runs it; `pip install mypy` to run locally)",
+            file=sys.stderr,
+        )
+
+    worst = max(statuses)
+    summary = "all gates clean" if worst == 0 else f"worst exit status {worst}"
+    print(f"== run_checks: {summary}", file=sys.stderr)
+    return worst
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
