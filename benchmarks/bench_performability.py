@@ -1,0 +1,98 @@
+"""Performance — performability evaluation throughput (states/second).
+
+The performability subsystem prices every availability state through the
+batched closed forms, so a failure study over tens of states should cost
+about as much as that many saturation solves.  This bench records
+states/s for an 18-state study on the N=544 system, serial and fanned
+out, plus the cache-hit replay rate, so future PRs can track regressions
+in the per-state evaluation or the CTMC solve.
+"""
+
+import time
+
+import pytest
+
+from repro.performability import FailureMode, FailureScenario, performability_analysis
+from repro.scenarios import get_scenario
+
+from benchmarks.conftest import emit
+
+
+def study_failures() -> FailureScenario:
+    """Node + ICN2 switch/link churn, 2x3x3 = 18 tracked states on 544."""
+    return FailureScenario(
+        modes=(
+            FailureMode(kind="node", failure_rate=1e-4, repair_rate=1e-2),
+            FailureMode(kind="switch", role="icn2", count=2,
+                        failure_rate=1e-5, repair_rate=1e-2),
+            FailureMode(kind="link", role="icn2", level=1, count=2,
+                        failure_rate=1e-5, repair_rate=1e-2),
+        ),
+        name="bench",
+    )
+
+
+@pytest.mark.benchmark(group="performance")
+def test_performability_states_per_second(benchmark, out_dir):
+    spec = get_scenario("544")
+    failures = study_failures()
+    result = benchmark.pedantic(
+        lambda: performability_analysis(spec, failures), rounds=2, iterations=1
+    )
+    states = len(result.data["states"])
+    seconds = benchmark.stats.stats.min
+    rate = states / seconds
+    assert states == 18
+    emit(
+        out_dir,
+        "performability_states_per_second",
+        f"performability, N=544, {states} states (3 modes), serial: "
+        f"{seconds:.2f}s -> {rate:,.1f} states/s",
+        payload={"states": states, "seconds": seconds, "states_per_second": rate},
+    )
+
+
+@pytest.mark.benchmark(group="performance")
+def test_performability_parallel_and_cached_replay(benchmark, out_dir, tmp_path_factory):
+    """jobs=auto fan-out vs serial (same table bit-for-bit) and the
+    cache-served replay rate of a warmed study."""
+    spec = get_scenario("544")
+    failures = study_failures()
+    cache = tmp_path_factory.mktemp("perf-cache")
+
+    t0 = time.perf_counter()
+    serial = performability_analysis(spec, failures)
+    serial_s = time.perf_counter() - t0
+
+    parallel = benchmark.pedantic(
+        lambda: performability_analysis(spec, failures, jobs=0, cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = benchmark.stats.stats.min
+    assert parallel.data["columns"]["saturation_load"] == serial.data["columns"]["saturation_load"]
+
+    t0 = time.perf_counter()
+    cached = performability_analysis(spec, failures, cache=cache)
+    cached_s = time.perf_counter() - t0
+    states = len(serial.data["states"])
+    assert cached.data["evaluated"] == 0 and cached.data["cached"] == states
+    assert cached.data["columns"]["saturation_load"] == serial.data["columns"]["saturation_load"]
+
+    emit(
+        out_dir,
+        "performability_parallel_and_cached",
+        (
+            f"performability, N=544, {states} states: serial {states / serial_s:,.1f} states/s, "
+            f"jobs=auto {states / parallel_s:,.1f} states/s "
+            f"(speedup x{serial_s / parallel_s:.2f}), "
+            f"cache replay {states / cached_s:,.1f} states/s"
+        ),
+        payload={
+            "states": states,
+            "serial_states_per_second": states / serial_s,
+            "parallel_states_per_second": states / parallel_s,
+            "parallel_speedup": serial_s / parallel_s,
+            "cached_states_per_second": states / cached_s,
+        },
+    )

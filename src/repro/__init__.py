@@ -18,6 +18,9 @@ The package provides:
 * :mod:`repro.experiments` — the :class:`Experiment` facade running every
   workflow off one scenario spec, including cached design-space
   exploration (``Experiment.explore`` / ``explore_grid``),
+* :mod:`repro.performability` — failure/repair availability chains over
+  degraded systems: availability-weighted λ*_A, expected capacity under
+  churn and failure rankings (``Experiment.performability``),
 * :mod:`repro.io` — result persistence, a content-addressed on-disk
   result cache, and ASCII reporting.
 

@@ -30,6 +30,8 @@ Subcommands mirror the :class:`repro.experiments.Experiment` facade:
                   adds a confidence interval over independent spawned seeds.
 ``validate``      model-vs-simulation comparison across a load grid.
 ``capacity``      max sustainable load under a latency budget.
+``bottlenecks``   ranked per-resource utilisations at one load (default 0.9 λ*).
+``knee``          empirical simulated knee relative to the model's λ*.
 ``whatif``        base-vs-rescaled-network latency curves (Fig. 7 family).
 ``explore``       design-space exploration: expand N parameter axes over the
                   scenario (``--axis path=v1,v2,...`` or a ``--grid`` JSON
@@ -41,17 +43,26 @@ Subcommands mirror the :class:`repro.experiments.Experiment` facade:
                   by accuracy (``--fix``/``--vary`` restrict the space,
                   ``--cache`` memoises the simulated ground truth; see
                   ``docs/calibration.md``).
+``performability``availability-weighted capacity under a failure/repair
+                  scenario (``--failures file.json``): CTMC state
+                  probabilities × degraded-system closed forms give λ*_A,
+                  expected capacity and a failure ranking (``--cache``
+                  memoises per-state evaluations; see
+                  ``docs/performability.md``).
 ``report``        regenerate the paper's full evaluation section.
 ``scenarios``     list registered scenarios, or show one as JSON.
 ``export-config`` print/save the resolved scenario as a JSON config file.
 
-``sweep``, ``validate``, ``capacity``, ``explore`` and ``calibrate``
-accept ``--out <path>`` to persist the result as JSON or CSV (by
-extension) via :mod:`repro.io.results`.  ``simulate``, ``validate``,
-``calibrate`` and ``report`` accept ``--jobs N`` to fan their simulations
-across a process pool (``--jobs 0`` = one worker per CPU), and ``explore
---jobs`` does the same for model cells; results are bit-identical for any
-worker count (see ``docs/parallel_validation.md``).
+Every result-producing subcommand — ``sweep``, ``validate``,
+``capacity``, ``bottlenecks``, ``knee``, ``whatif``, ``explore``,
+``calibrate`` and ``performability`` — accepts ``--out <path>`` to
+persist the result as JSON or CSV (by extension) via
+:mod:`repro.io.results`; the extension is validated before any compute
+runs.  ``simulate``, ``validate``, ``calibrate`` and ``report`` accept
+``--jobs N`` to fan their simulations across a process pool
+(``--jobs 0`` = one worker per CPU), and ``explore``/``performability``
+``--jobs`` does the same for model cells/states; results are
+bit-identical for any worker count (see ``docs/parallel_validation.md``).
 """
 
 from __future__ import annotations
@@ -185,6 +196,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     out_flag(p)
 
+    p = sub.add_parser("bottlenecks", help="ranked per-resource utilisations at one load")
+    common(p)
+    p.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        help="per-node rate λ_g to inspect (default: 0.9 of the saturation load)",
+    )
+    out_flag(p)
+
+    p = sub.add_parser("knee", help="empirical simulated knee relative to the model's λ*")
+    common(p)
+    p.add_argument(
+        "--threshold-factor",
+        type=float,
+        default=4.0,
+        help="knee = load where simulated latency reaches this multiple of the zero-load latency",
+    )
+    p.add_argument("--messages", type=int, default=5_000, help="measured messages per probe")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=7, help="bisection iterations")
+    out_flag(p)
+
     p = sub.add_parser("whatif", help="base vs rescaled-network latency curves (Fig. 7 family)")
     common(p)
     p.add_argument("--role", choices=["icn1", "ecn1", "icn2"], default="icn2")
@@ -288,6 +322,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="on-disk simulator-curve cache (repeat runs simulate nothing)",
+    )
+    jobs_flag(p)
+    out_flag(p)
+
+    p = sub.add_parser(
+        "performability",
+        help="availability-weighted capacity under a failure/repair scenario",
+    )
+    common(p)
+    p.add_argument(
+        "--failures",
+        required=True,
+        metavar="FILE",
+        help="FailureScenario JSON file (failure modes + rates; "
+        "see docs/performability.md for the schema)",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk per-state result cache directory (repeat runs evaluate nothing)",
     )
     jobs_flag(p)
     out_flag(p)
@@ -527,8 +582,30 @@ def _cmd_capacity(args) -> str:
     return result.text + _persist(result, args.out)
 
 
+def _cmd_bottlenecks(args) -> str:
+    result = _experiment(args).bottlenecks(args.load)
+    return result.text + _persist(result, args.out)
+
+
+def _cmd_knee(args) -> str:
+    result = _experiment(args).knee(
+        threshold_factor=args.threshold_factor,
+        messages=args.messages,
+        seed=args.seed,
+        iterations=args.iterations,
+    )
+    return result.text + _persist(result, args.out)
+
+
 def _cmd_whatif(args) -> str:
     result = _experiment(args).whatif(role=args.role, factor=args.factor)
+    return result.text + _persist(result, args.out)
+
+
+def _cmd_performability(args) -> str:
+    result = _experiment(args).performability(
+        args.failures, jobs=args.jobs, cache=args.cache
+    )
     return result.text + _persist(result, args.out)
 
 
@@ -685,9 +762,12 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "validate": _cmd_validate,
     "capacity": _cmd_capacity,
+    "bottlenecks": _cmd_bottlenecks,
+    "knee": _cmd_knee,
     "whatif": _cmd_whatif,
     "explore": _cmd_explore,
     "calibrate": _cmd_calibrate,
+    "performability": _cmd_performability,
     "report": _cmd_report,
     "scenarios": _cmd_scenarios,
     "export-config": _cmd_export_config,

@@ -351,6 +351,11 @@ class Experiment:
                 {"resource": r.resource, "kind": r.kind, "utilization": r.utilization}
                 for r in report.resources
             ],
+            "columns": {
+                "resource": [r.resource for r in report.resources],
+                "kind": [r.kind for r in report.resources],
+                "utilization": [r.utilization for r in report.resources],
+            },
         }
         return self._result("bottlenecks", data, text)
 
@@ -435,6 +440,12 @@ class Experiment:
             "knee_fraction": estimate.knee_fraction,
             "threshold_factor": estimate.threshold_factor,
             "probes": [list(p) for p in estimate.probes],
+            "columns": {
+                "sim_knee": [estimate.sim_knee],
+                "model_saturation": [estimate.model_saturation],
+                "knee_fraction": [estimate.knee_fraction],
+                "threshold_factor": [estimate.threshold_factor],
+            },
         }
         return self._result("knee", data, text)
 
@@ -618,6 +629,31 @@ class Experiment:
             frontier=frontier,
             knee_threshold_factor=knee_threshold_factor,
         )
+
+    def performability(
+        self,
+        failures,
+        *,
+        jobs: "int | str | None" = None,
+        cache=None,
+    ) -> ExperimentResult:
+        """Availability-weighted performance of this scenario under churn.
+
+        *failures* is a :class:`~repro.performability.FailureScenario` (or
+        its serialised dict / a JSON config path).  The failure scenario's
+        availability CTMC is solved, every degraded system is priced by
+        the batched closed forms, and the result carries λ*_A, expected
+        capacity, the weighted latency curve and the failure ranking; see
+        :func:`repro.performability.performability_analysis`, which this
+        wraps with ``self.spec`` (``jobs``/``cache`` pass through).
+        """
+        from repro.performability import FailureScenario, performability_analysis
+
+        if isinstance(failures, dict):
+            failures = FailureScenario.from_dict(failures)
+        elif isinstance(failures, str):
+            failures = FailureScenario.load(failures)
+        return performability_analysis(self.spec, failures, jobs=jobs, cache=cache)
 
     def calibrate(
         self,

@@ -20,6 +20,8 @@ __all__ = [
     "EXPERIMENT_SCHEMA",
     "EXPLORE_CELL_SCHEMA",
     "GRID_SCHEMA",
+    "PERFORMABILITY_SCHEMA",
+    "PERFORMABILITY_STATE_SCHEMA",
     "SCENARIO_SCHEMA",
     "SIM_CURVE_SCHEMA",
     "declared_schemas",
@@ -42,6 +44,12 @@ CALIBRATION_SCHEMA = "repro.calibration/1"
 
 #: One cached simulator ground-truth curve (calibration's memoised runs).
 SIM_CURVE_SCHEMA = "repro.sim-curve/1"
+
+#: A failure/repair scenario (:class:`repro.performability.FailureScenario`).
+PERFORMABILITY_SCHEMA = "repro.performability/1"
+
+#: One cached degraded-state evaluation (:func:`repro.performability.performability_analysis`).
+PERFORMABILITY_STATE_SCHEMA = "repro.performability-state/1"
 
 
 def declared_schemas() -> dict[str, str]:

@@ -1,0 +1,344 @@
+"""Availability-weighted performance: the performability answer surface.
+
+The top of the hierarchical decomposition (Thomasian's framing): the CTMC
+of :mod:`repro.performability.states` says how much steady-state time the
+system spends in each degraded configuration, the closed forms of
+:class:`~repro.core.BatchedModel` price each configuration, and this
+module combines the two into the quantities a capacity planner actually
+asks for:
+
+``availability``
+    steady-state probability of the pristine (no-failure) state.
+``saturation_load_weighted`` (λ*_A)
+    availability-adjusted per-node saturation load
+    ``Σ_s π_s · λ*_s · (nodes_s / N)`` — the long-run per-node capacity a
+    planner can bank on, strictly below the pristine λ* whenever failures
+    have non-zero rates and exactly equal to it when all rates are zero.
+``expected_capacity``
+    expected whole-system message throughput capacity under churn,
+    ``Σ_s π_s · nodes_s · λ*_s`` (messages per time-unit).
+``curve``
+    the availability-weighted latency curve over the scenario's load
+    grid: at each load, the π-weighted mean latency over the states that
+    can still serve it, plus the ``served_probability`` column (the π
+    mass of those states) — the two together describe graceful
+    degradation, a conditional mean avoids infecting low-load points
+    with the saturation of deep-failure states.
+``ranking``
+    "which failure hurts most": every single-failure state scored by its
+    capacity impact ``1 − (nodes_s · λ*_s) / (N · λ*_pristine)`` — the
+    one-factor attribution style of ``analysis/frontier.axis_sensitivity``,
+    independent of how likely the failure is, so zero-rate what-if modes
+    rank too.
+
+Per-state evaluations are pure functions of the degraded spec, so they
+fan out through :func:`repro.simulation.parallel.map_jobs` (bit-identical
+tables for any worker count) and memoise in a content-addressed
+:class:`~repro.io.cache.ResultCache` keyed by the degraded spec, the load
+grid and the engine version.  States that degrade to the *same* system
+(e.g. node-loss states, which only change capacity weighting) share one
+cache key and are evaluated once.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import require
+from repro.analysis.tables import render_table
+from repro.core.batch import ENGINE_VERSION, BatchedModel
+from repro.experiments.experiment import ExperimentResult
+from repro.io.cache import ResultCache, canonical_numbers, content_key
+from repro.io.schemas import PERFORMABILITY_STATE_SCHEMA
+from repro.performability.degrade import DegradedState, expand_states, resolve_populations
+from repro.performability.spec import FailureScenario
+from repro.performability.states import steady_state
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["PERFORMABILITY_STATE_SCHEMA", "performability_analysis", "state_cache_key"]
+
+#: Metrics every cached per-state entry must carry to count as a hit.
+_STATE_METRICS = ("saturation_load", "binding_resource", "zero_load_latency", "latencies")
+
+
+def state_cache_key(degraded_spec: ScenarioSpec, loads: "tuple[float, ...]") -> str:
+    """Content key of one degraded state's metrics in the on-disk cache.
+
+    Mirrors :func:`repro.experiments.explore.cell_cache_key`: hash the
+    serialised degraded spec minus its derived ``name``/``description``
+    and its ``load_grid`` policy (the *materialised* loads are hashed
+    instead, since the latency curve depends on them), plus the engine
+    version.  Numeric leaves are canonicalised first, so states reached
+    through differently-spelled specs share an entry — as do distinct
+    availability states that degrade to the same system.
+    """
+    payload = degraded_spec.to_dict()
+    payload.pop("name", None)
+    payload.pop("description", None)
+    payload.pop("load_grid", None)
+    return content_key(
+        {
+            "schema": PERFORMABILITY_STATE_SCHEMA,
+            "engine_version": ENGINE_VERSION,
+            "loads": [float(v) for v in loads],
+            "spec": canonical_numbers(payload),
+        }
+    )
+
+
+def _evaluate_state(payload: tuple) -> dict:
+    """Worker for :func:`performability_analysis` (module-level: picklable)."""
+    spec_dict, loads = payload
+    spec = ScenarioSpec.from_dict(spec_dict)
+    engine = BatchedModel(spec.system, spec.message, spec.options, spec.pattern)
+    latencies = engine.evaluate_many(
+        np.asarray(loads, dtype=np.float64), with_results=False
+    ).latencies
+    return {
+        "saturation_load": engine.saturation_load(),
+        "binding_resource": engine.binding_resource(),
+        "zero_load_latency": engine.zero_load_latency(),
+        "latencies": [float(v) for v in latencies],
+    }
+
+
+def _weighted_curve(
+    loads: "list[float]", probs: "list[float]", metrics: "list[dict]"
+) -> dict:
+    """Conditional availability-weighted latency curve (see module doc)."""
+    latency: list[float] = []
+    served: list[float] = []
+    for j in range(len(loads)):
+        num = 0.0
+        den = 0.0
+        for p, m in zip(probs, metrics):
+            if p <= 0.0:
+                continue
+            value = m["latencies"][j]
+            if math.isfinite(value):
+                num += p * value
+                den += p
+        served.append(den)
+        latency.append(num / den if den > 0.0 else float("inf"))
+    return {"load": loads, "latency": latency, "served_probability": served}
+
+
+def _ranking(
+    scenario: FailureScenario,
+    states: "list[DegradedState]",
+    probs: "list[float]",
+    metrics: "list[dict]",
+    n_total: int,
+    lam_pristine: float,
+) -> list[dict]:
+    """Single-failure states scored by capacity impact, worst first."""
+    rows = []
+    for st, p, m in zip(states, probs, metrics):
+        if sum(st.state) != 1:
+            continue
+        mode = scenario.modes[st.state.index(1)]
+        capacity = st.active_nodes * m["saturation_load"]
+        rows.append(
+            {
+                "mode": mode.label,
+                "state": st.label,
+                "impact": 1.0 - capacity / (n_total * lam_pristine),
+                "saturation_load": m["saturation_load"],
+                "active_nodes": st.active_nodes,
+                "probability": p,
+            }
+        )
+    rows.sort(key=lambda r: (-r["impact"], r["state"]))
+    return rows
+
+
+def performability_analysis(
+    spec: ScenarioSpec,
+    failures: FailureScenario,
+    *,
+    jobs: "int | str | None" = None,
+    cache: "ResultCache | str | None" = None,
+) -> ExperimentResult:
+    """Availability-weighted performance of *spec* under *failures*.
+
+    Expands the failure scenario's availability states against the spec's
+    system (hard-validated — see
+    :func:`~repro.performability.degrade.expand_states`), solves the CTMC
+    for steady-state probabilities, evaluates every distinct degraded
+    system through the batched closed forms, and aggregates the
+    availability-weighted metrics described in the module docstring.
+
+    ``jobs`` fans the uncached state evaluations across a process pool
+    (``0``/"auto" = one worker per CPU); tables are bit-identical for any
+    worker count.  ``cache`` (a directory path or
+    :class:`~repro.io.cache.ResultCache`) memoises per-state metrics on
+    disk, so a repeated run evaluates nothing.
+
+    The result's ``data`` holds the per-state ``columns`` table (what CSV
+    export writes), the weighted ``curve``, the failure ``ranking``, the
+    summary scalars and ``evaluated``/``cached``/``jobs`` counters; its
+    ``spec`` is composite — ``{"scenario": ..., "failures": ...}`` — so a
+    saved result reproduces the whole study.
+    """
+    # Deferred so importing repro.performability stays model-only: pulling
+    # the pool machinery eagerly would load the simulation stack too.
+    from repro.simulation.parallel import map_jobs, resolve_jobs
+
+    require(isinstance(spec, ScenarioSpec), "spec must be a ScenarioSpec")
+    require(isinstance(failures, FailureScenario), "failures must be a FailureScenario")
+
+    states = expand_states(spec.system, failures)
+    populations = resolve_populations(spec.system, failures)
+    probs = steady_state(failures, populations)
+
+    engine = BatchedModel(spec.system, spec.message, spec.options, spec.pattern)
+    loads = [float(v) for v in spec.load_grid.grid(engine)]
+
+    store = None
+    if cache is not None:
+        store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+
+    spec_dicts = []
+    keys = []
+    for st in states:
+        degraded = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "system": st.system.to_dict()}
+        )
+        spec_dicts.append(degraded.to_dict())
+        keys.append(state_cache_key(degraded, tuple(loads)))
+
+    metrics: list = [None] * len(states)
+    n_cached = 0
+    if store is not None:
+        for idx, key in enumerate(keys):
+            entry = store.get(key)
+            # A hit must carry the full metric set with a curve matching
+            # the load grid; anything less is a miss to recompute.
+            if (
+                isinstance(entry, dict)
+                and entry.get("schema") == PERFORMABILITY_STATE_SCHEMA
+                and isinstance(entry.get("metrics"), dict)
+                and all(name in entry["metrics"] for name in _STATE_METRICS)
+                and isinstance(entry["metrics"]["latencies"], list)
+                and len(entry["metrics"]["latencies"]) == len(loads)
+            ):
+                metrics[idx] = entry["metrics"]
+                n_cached += 1
+
+    # Distinct availability states can degrade to the same system (node
+    # losses leave the topology alone); group pending states by cache key
+    # and evaluate each distinct degraded system once.
+    pending: dict[str, list[int]] = {}
+    for idx, m in enumerate(metrics):
+        if m is None:
+            pending.setdefault(keys[idx], []).append(idx)
+    unique = list(pending)
+    n_jobs = min(resolve_jobs(jobs), len(unique))
+    fresh = map_jobs(
+        _evaluate_state,
+        [(spec_dicts[pending[key][0]], tuple(loads)) for key in unique],
+        jobs=n_jobs,
+    )
+    for key, state_metrics in zip(unique, fresh):
+        for idx in pending[key]:
+            metrics[idx] = state_metrics
+        if store is not None:
+            store.put(
+                key,
+                {
+                    "schema": PERFORMABILITY_STATE_SCHEMA,
+                    "engine_version": ENGINE_VERSION,
+                    "state": states[pending[key][0]].label,
+                    "metrics": state_metrics,
+                },
+            )
+
+    n_total = spec.system.total_nodes
+    lam_pristine = metrics[0]["saturation_load"]
+    availability = probs[0]
+    lam_weighted = 0.0
+    expected_capacity = 0.0
+    for st, p, m in zip(states, probs, metrics):
+        if p <= 0.0:
+            continue
+        lam_weighted += p * m["saturation_load"] * (st.active_nodes / n_total)
+        expected_capacity += p * st.active_nodes * m["saturation_load"]
+
+    curve = _weighted_curve(loads, probs, metrics)
+    ranking = _ranking(failures, states, probs, metrics, n_total, lam_pristine)
+
+    columns: dict[str, list] = {
+        "state": [st.label for st in states],
+        "probability": list(probs),
+        "active_nodes": [st.active_nodes for st in states],
+        "saturation_load": [m["saturation_load"] for m in metrics],
+        "zero_load_latency": [m["zero_load_latency"] for m in metrics],
+        "binding_resource": [m["binding_resource"] for m in metrics],
+    }
+    records = [
+        {
+            "state": list(st.state),
+            "label": st.label,
+            "probability": p,
+            "active_nodes": st.active_nodes,
+            "metrics": m,
+        }
+        for st, p, m in zip(states, probs, metrics)
+    ]
+    data = {
+        "columns": columns,
+        "states": records,
+        "populations": list(populations),
+        "availability": availability,
+        "saturation_load_pristine": lam_pristine,
+        "saturation_load_weighted": lam_weighted,
+        "expected_capacity": expected_capacity,
+        "curve": curve,
+        "ranking": ranking,
+        "evaluated": len(unique),
+        "cached": n_cached,
+        "jobs": n_jobs,
+        "cache_root": str(store.root) if store is not None else None,
+    }
+
+    state_rows = [
+        [st.label, f"{p:.6f}", st.active_nodes, f"{m['saturation_load']:.4e}", m["binding_resource"]]
+        for st, p, m in zip(states, probs, metrics)
+    ]
+    text = render_table(
+        ["state", "π", "nodes", "λ*_s", "binding"],
+        state_rows,
+        title=(
+            f"performability of {spec.name!r}: {len(states)} availability "
+            f"state(s), {len(failures.modes)} failure mode(s)"
+        ),
+    )
+    if ranking:
+        ranking_rows = [
+            [r["mode"], r["state"], f"{r['impact']:.6f}", f"{r['saturation_load']:.4e}"]
+            for r in ranking
+        ]
+        text += "\n\n" + render_table(
+            ["failure", "state", "capacity impact", "λ*_s"],
+            ranking_rows,
+            title="which failure hurts most (single-failure states, worst first)",
+        )
+    text += (
+        f"\n\navailability (pristine state) = {availability:.6f}\n"
+        f"λ* pristine                    = {lam_pristine:.4e}\n"
+        f"λ*_A availability-weighted     = {lam_weighted:.4e}\n"
+        f"expected capacity under churn  = {expected_capacity:.4e} messages/time-unit"
+    )
+    text += (
+        f"\nevaluated {len(unique)} of {len(states)} states "
+        f"({n_cached} from cache, jobs={n_jobs})"
+    )
+    return ExperimentResult(
+        kind="performability",
+        scenario=spec.name,
+        spec={"scenario": spec.to_dict(), "failures": failures.to_dict()},
+        data=data,
+        text=text,
+    )

@@ -12,10 +12,13 @@ def run_cli(capsys, *argv):
 
 
 class TestParser:
-    def test_all_subcommands_registered(self):
-        parser = build_parser()
+    @staticmethod
+    def _subparsers(parser):
         sub = next(a for a in parser._actions if hasattr(a, "choices") and a.choices)
-        assert set(sub.choices) == {
+        return dict(sub.choices)
+
+    def test_all_subcommands_registered(self):
+        assert set(self._subparsers(build_parser())) == {
             "describe",
             "latency",
             "saturation",
@@ -23,12 +26,52 @@ class TestParser:
             "simulate",
             "validate",
             "capacity",
+            "bottlenecks",
+            "knee",
             "whatif",
             "explore",
             "calibrate",
+            "performability",
             "report",
             "scenarios",
             "export-config",
+        }
+
+    def test_out_flag_coverage(self):
+        """Every result-producing subcommand persists with --out; the flag
+        set is pinned so a new subcommand cannot silently skip it."""
+        flags = {
+            name: {s for action in p._actions for s in action.option_strings}
+            for name, p in self._subparsers(build_parser()).items()
+        }
+        with_out = {name for name, f in flags.items() if "--out" in f}
+        assert with_out == {
+            "sweep",
+            "validate",
+            "capacity",
+            "bottlenecks",
+            "knee",
+            "whatif",
+            "explore",
+            "calibrate",
+            "performability",
+            "export-config",
+        }
+
+    def test_jobs_flag_coverage(self):
+        flags = {
+            name: {s for action in p._actions for s in action.option_strings}
+            for name, p in self._subparsers(build_parser()).items()
+        }
+        with_jobs = {name for name, f in flags.items() if "--jobs" in f}
+        assert with_jobs == {
+            "sweep",
+            "simulate",
+            "validate",
+            "explore",
+            "calibrate",
+            "performability",
+            "report",
         }
 
     def test_requires_command(self):
@@ -386,6 +429,184 @@ class TestWhatIf:
         code, out, _ = run_cli(capsys, "whatif", "--system", "544", "--factor", "1.2")
         assert code == 0
         assert "saturation gain" in out
+
+    def test_whatif_csv_out(self, capsys, tmp_path):
+        from repro.io import load_curve_csv
+
+        path = tmp_path / "whatif.csv"
+        code, out, _ = run_cli(
+            capsys, "whatif", "--system", "544", "--out", str(path)
+        )
+        assert code == 0
+        assert f"wrote {path}" in out
+        assert set(load_curve_csv(path)) == {"load", "base", "variant"}
+
+
+class TestBottlenecks:
+    def test_default_load_reports_binding(self, capsys):
+        code, out, _ = run_cli(capsys, "bottlenecks", "--system", "544")
+        assert code == 0
+        assert "binding resource" in out
+        assert "concentrator" in out
+
+    def test_explicit_load_and_csv_out(self, capsys, tmp_path):
+        from repro.io import load_curve_csv
+
+        path = tmp_path / "bn.csv"
+        code, out, _ = run_cli(
+            capsys, "bottlenecks", "--system", "544", "--load", "2e-4", "--out", str(path)
+        )
+        assert code == 0
+        assert f"wrote {path}" in out
+        cols = load_curve_csv(path)
+        assert set(cols) == {"resource", "kind", "utilization"}
+        assert len(cols["resource"]) >= 2
+
+    def test_bad_out_extension_rejected_before_compute(self, capsys, tmp_path):
+        path = tmp_path / "bn.txt"
+        code, _, err = run_cli(
+            capsys, "bottlenecks", "--system", "544", "--out", str(path)
+        )
+        assert code == 2
+        assert ".json or .csv" in err
+        assert not path.exists()
+
+
+class TestKnee:
+    @pytest.fixture()
+    def tiny_config(self, tmp_path):
+        from repro.cluster import homogeneous_system
+        from repro.scenarios import ScenarioSpec
+
+        path = tmp_path / "tiny.json"
+        ScenarioSpec(
+            name="tiny",
+            system=homogeneous_system(switch_ports=4, tree_depth=1, num_clusters=4),
+        ).save(path)
+        return str(path)
+
+    def test_knee_with_csv_out(self, capsys, tiny_config, tmp_path):
+        from repro.io import load_curve_csv
+
+        path = tmp_path / "knee.csv"
+        code, out, _ = run_cli(
+            capsys, "knee", "--config", tiny_config,
+            "--messages", "150", "--iterations", "2", "--out", str(path),
+        )
+        assert code == 0
+        assert "simulated knee" in out
+        cols = load_curve_csv(path)
+        assert set(cols) == {
+            "sim_knee", "model_saturation", "knee_fraction", "threshold_factor"
+        }
+        assert len(cols["sim_knee"]) == 1
+
+    def test_bad_out_extension_rejected_before_compute(self, capsys, tmp_path):
+        path = tmp_path / "knee.txt"
+        code, _, err = run_cli(
+            capsys, "knee", "--system", "544", "--out", str(path)
+        )
+        assert code == 2
+        assert ".json or .csv" in err
+        assert not path.exists()
+
+
+class TestPerformability:
+    @pytest.fixture()
+    def failures_file(self, tmp_path):
+        from repro.performability import FailureMode, FailureScenario
+
+        path = tmp_path / "failures.json"
+        FailureScenario(
+            modes=(
+                FailureMode(kind="node", failure_rate=1e-4, repair_rate=1e-2),
+                FailureMode(kind="switch", role="icn2", failure_rate=1e-5, repair_rate=1e-2),
+            ),
+            max_concurrent=2,
+            name="cli-smoke",
+        ).save(path)
+        return str(path)
+
+    def test_reports_weighted_metrics(self, capsys, failures_file):
+        code, out, _ = run_cli(
+            capsys, "performability", "--scenario", "544", "--failures", failures_file
+        )
+        assert code == 0
+        assert "availability state(s)" in out
+        assert "λ*_A availability-weighted" in out
+        assert "which failure hurts most" in out
+
+    def test_cache_serves_second_run_bit_identical(self, capsys, failures_file, tmp_path):
+        cache = str(tmp_path / "cache")
+        out_a, out_b = tmp_path / "a.csv", tmp_path / "b.csv"
+        code, first, _ = run_cli(
+            capsys, "performability", "--scenario", "544",
+            "--failures", failures_file, "--jobs", "2",
+            "--cache", cache, "--out", str(out_a),
+        )
+        assert code == 0
+        assert "evaluated 2 of 4 states (0 from cache" in first
+        code, second, _ = run_cli(
+            capsys, "performability", "--scenario", "544",
+            "--failures", failures_file,
+            "--cache", cache, "--out", str(out_b),
+        )
+        assert code == 0
+        assert "evaluated 0 of 4 states (4 from cache" in second
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_json_out_is_self_describing(self, capsys, failures_file, tmp_path):
+        from repro.io import load_json
+
+        path = tmp_path / "perf.json"
+        code, _, _ = run_cli(
+            capsys, "performability", "--scenario", "544",
+            "--failures", failures_file, "--out", str(path),
+        )
+        assert code == 0
+        payload = load_json(path)
+        assert payload["kind"] == "performability"
+        assert payload["spec"]["failures"]["schema"] == "repro.performability/1"
+        assert payload["data"]["saturation_load_weighted"] < payload["data"]["saturation_load_pristine"]
+
+    def test_disconnecting_spec_is_clean_error_naming_state(self, capsys, tmp_path):
+        from repro.performability import FailureMode, FailureScenario
+
+        path = tmp_path / "bad.json"
+        # The 544 preset's ICN2 top level has 4 switches; tracking 4
+        # simultaneous losses reaches a disconnected state.
+        FailureScenario(
+            modes=(
+                FailureMode(
+                    kind="switch", role="icn2", count=4,
+                    failure_rate=1e-5, repair_rate=1e-2,
+                ),
+            ),
+        ).save(path)
+        code, _, err = run_cli(
+            capsys, "performability", "--scenario", "544", "--failures", str(path)
+        )
+        assert code == 2
+        assert "availability state 'icn2-switch=4' is invalid" in err
+        assert "disconnect the fabric" in err
+
+    def test_missing_failures_file_is_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "performability", "--scenario", "544",
+            "--failures", "/no/such/failures.json",
+        )
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_bad_out_extension_rejected_before_compute(self, capsys, failures_file, tmp_path):
+        path = tmp_path / "perf.txt"
+        code, _, err = run_cli(
+            capsys, "performability", "--scenario", "544",
+            "--failures", failures_file, "--out", str(path),
+        )
+        assert code == 2
+        assert ".json or .csv" in err
+        assert not path.exists()
 
 
 class TestValidateGranularity:

@@ -81,6 +81,11 @@ class TestMatchesDirectCalls:
             r.resource for r in direct.resources
         ]
         assert facade.data["saturation_load"] == direct.saturation_load
+        # The CSV-ready columns mirror the per-resource records exactly.
+        cols = facade.data["columns"]
+        assert cols["resource"] == [r.resource for r in direct.resources]
+        assert cols["kind"] == [r.kind for r in direct.resources]
+        assert cols["utilization"] == [r.utilization for r in direct.resources]
 
     def test_saturation_matches_engine(self, exp_1120):
         engine = BatchedModel(paper_system_1120(), MessageSpec(32, 256.0))
@@ -117,6 +122,9 @@ class TestResultSchema:
     def test_columns_on_curve_kinds(self, exp_1120):
         assert set(exp_1120.sweep().columns()) == {"load", "latency"}
         assert set(exp_1120.capacity(80.0).columns()) == {"target", "achieved", "feasible"}
+        assert set(exp_1120.bottlenecks().columns()) == {
+            "resource", "kind", "utilization"
+        }
 
     def test_columns_raises_on_scalar_kinds(self, exp_1120):
         with pytest.raises(ValueError, match="no tabular columns"):

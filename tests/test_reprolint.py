@@ -508,14 +508,22 @@ class TestShippedTree:
             "EXPLORE_CELL_SCHEMA": "repro.explore-cell/1",
             "CALIBRATION_SCHEMA": "repro.calibration/1",
             "SIM_CURVE_SCHEMA": "repro.sim-curve/1",
+            "PERFORMABILITY_SCHEMA": "repro.performability/1",
+            "PERFORMABILITY_STATE_SCHEMA": "repro.performability-state/1",
         }
         import repro.experiments as experiments
+        import repro.performability as performability
         import repro.scenarios as scenarios
 
         assert scenarios.SCENARIO_SCHEMA is declared["SCENARIO_SCHEMA"]
         assert scenarios.GRID_SCHEMA is declared["GRID_SCHEMA"]
         assert experiments.EXPERIMENT_SCHEMA is declared["EXPERIMENT_SCHEMA"]
         assert experiments.CALIBRATION_SCHEMA is declared["CALIBRATION_SCHEMA"]
+        assert performability.PERFORMABILITY_SCHEMA is declared["PERFORMABILITY_SCHEMA"]
+        assert (
+            performability.PERFORMABILITY_STATE_SCHEMA
+            is declared["PERFORMABILITY_STATE_SCHEMA"]
+        )
 
     def test_diagnostic_render_format(self):
         diag = Diagnostic("RD101", "src/x.py", 3, 4, "message", "f")
