@@ -63,11 +63,22 @@ runs.  ``simulate``, ``validate``, ``calibrate`` and ``report`` accept
 (``--jobs 0`` = one worker per CPU), and ``explore``/``performability``
 ``--jobs`` does the same for model cells/states; results are
 bit-identical for any worker count (see ``docs/parallel_validation.md``).
+
+The three study commands — ``explore``, ``calibrate`` and
+``performability`` — run under the supervised execution runtime
+(:mod:`repro.exec`) and additionally accept ``--retries``/``--timeout``
+(per-item retry and timeout policy), ``--resume`` (replay a killed run
+from its cache journal; requires ``--cache``) and ``--faults`` (arm a
+deterministic fault-injection plan, for testing the runtime itself).
+Exit codes: ``0`` success, ``2`` configuration error, ``3`` partial
+results (items failed after retries; the result carries an ``errors``
+section), ``130`` interrupted.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -75,6 +86,7 @@ from pathlib import Path
 from repro._util import require
 from repro.analysis import render_table
 from repro.core import MessageSpec, ModelOptions
+from repro.exec import FAULTS_ENV, FaultPlan, RunPolicy
 from repro.experiments import Experiment, ExperimentResult
 from repro.io.results import save_curve_csv, save_json
 from repro.scenarios import (
@@ -133,6 +145,35 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="process-pool workers for simulation fan-out (0 = one per CPU; "
             "results are identical for any worker count)",
+        )
+
+    def resilience_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            help="extra executions granted to a failed item before it is "
+            "recorded as an error (default 2; see docs/resilience.md)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-item timeout in seconds under pooled execution "
+            "(default: no timeout; not enforceable under serial fallback)",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume an interrupted run from its cache journal "
+            "(requires --cache; only not-yet-journaled items are evaluated)",
+        )
+        p.add_argument(
+            "--faults",
+            default=None,
+            metavar="PLAN",
+            help="arm a deterministic fault-injection plan — a JSON file path "
+            "or inline JSON (for testing the runtime; see docs/resilience.md)",
         )
 
     p = sub.add_parser("describe", help="structural summary of the scenario")
@@ -262,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk result cache directory (repeat runs re-evaluate nothing)",
     )
     jobs_flag(p)
+    resilience_flags(p)
     out_flag(p)
 
     p = sub.add_parser(
@@ -324,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk simulator-curve cache (repeat runs simulate nothing)",
     )
     jobs_flag(p)
+    resilience_flags(p)
     out_flag(p)
 
     p = sub.add_parser(
@@ -345,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk per-state result cache directory (repeat runs evaluate nothing)",
     )
     jobs_flag(p)
+    resilience_flags(p)
     out_flag(p)
 
     p = sub.add_parser("report", help="regenerate the paper's full evaluation section")
@@ -505,6 +549,35 @@ def _persist(result: ExperimentResult, out: "str | None") -> str:
     return f"\nwrote {out}"
 
 
+def _run_policy(args) -> "RunPolicy | None":
+    """``--retries``/``--timeout`` -> a RunPolicy, or None for defaults."""
+    if args.retries is None and args.timeout is None:
+        return None
+    overrides: dict = {}
+    if args.retries is not None:
+        overrides["max_retries"] = args.retries
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    return RunPolicy(**overrides)
+
+
+def _arm_faults(args) -> None:
+    """Validate and arm a ``--faults`` plan before any compute runs.
+
+    The plan is parsed eagerly so a malformed file/JSON fails with exit 2
+    up front; arming happens via the environment so pool workers inherit
+    the plan at fork.
+    """
+    if getattr(args, "faults", None):
+        FaultPlan.load(args.faults)
+        os.environ[FAULTS_ENV] = args.faults
+
+
+def _study_exit_code(result: ExperimentResult) -> int:
+    """3 when the table is partial (items failed after retries), else 0."""
+    return 3 if result.data.get("errors") else 0
+
+
 # ---------------------------------------------------------------------------
 # subcommands
 # ---------------------------------------------------------------------------
@@ -602,11 +675,16 @@ def _cmd_whatif(args) -> str:
     return result.text + _persist(result, args.out)
 
 
-def _cmd_performability(args) -> str:
+def _cmd_performability(args) -> "tuple[str, int]":
+    _arm_faults(args)
     result = _experiment(args).performability(
-        args.failures, jobs=args.jobs, cache=args.cache
+        args.failures,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=_run_policy(args),
+        resume=args.resume,
     )
-    return result.text + _persist(result, args.out)
+    return result.text + _persist(result, args.out), _study_exit_code(result)
 
 
 def _parse_axis(text: str):
@@ -620,7 +698,7 @@ def _parse_axis(text: str):
     return AxisSpec(path=path.strip(), values=values)
 
 
-def _cmd_explore(args) -> str:
+def _cmd_explore(args) -> "tuple[str, int]":
     from repro.experiments.explore import explore_grid
     from repro.scenarios import DesignGrid
 
@@ -646,10 +724,16 @@ def _cmd_explore(args) -> str:
         if args.budget is not None:
             spec = replace(spec, latency_budget=args.budget)
         grid = DesignGrid(base=spec, axes=tuple(_parse_axis(a) for a in args.axis))
+    _arm_faults(args)
     result = explore_grid(
-        grid, jobs=args.jobs, cache=args.cache, frontier=args.frontier
+        grid,
+        jobs=args.jobs,
+        cache=args.cache,
+        frontier=args.frontier,
+        policy=_run_policy(args),
+        resume=args.resume,
     )
-    return result.text + _persist(result, args.out)
+    return result.text + _persist(result, args.out), _study_exit_code(result)
 
 
 def _parse_fix(entries: "list[str]") -> dict:
@@ -676,7 +760,7 @@ def _parse_vary(text: str) -> tuple:
     return (key, values)
 
 
-def _cmd_calibrate(args) -> str:
+def _cmd_calibrate(args) -> "tuple[str, int]":
     from repro.experiments.calibrate import DEFAULT_FRACTIONS, calibrate_options
 
     fixed = _parse_fix(args.fix)
@@ -697,6 +781,7 @@ def _cmd_calibrate(args) -> str:
         # The common overrides shape the *reference* scenario here — e.g.
         # --option tcn_convention=... moves the simulated ground truth.
         scenarios = [resolve_spec(args)]
+    _arm_faults(args)
     result = calibrate_options(
         scenarios,
         axes=axes,
@@ -709,8 +794,10 @@ def _cmd_calibrate(args) -> str:
         granularity=args.granularity,
         jobs=args.jobs,
         cache=args.cache,
+        policy=_run_policy(args),
+        resume=args.resume,
     )
-    return result.text + _persist(result, args.out)
+    return result.text + _persist(result, args.out), _study_exit_code(result)
 
 
 def _cmd_report(args) -> str:
@@ -780,7 +867,10 @@ def main(argv: "list[str] | None" = None) -> int:
     Configuration mistakes — invalid values (``ValueError``), unknown
     scenario/resource names (``KeyError``) and unreadable config files
     (``OSError``) — print one clean ``error:`` line and exit 2 instead of
-    escaping as tracebacks.
+    escaping as tracebacks.  Study commands whose result is partial
+    (items failed after retries) exit 3 with the partial table printed;
+    Ctrl-C exits 130 after the supervised runtime has torn its worker
+    pool down.
     """
     args = build_parser().parse_args(argv)
     try:
@@ -788,14 +878,19 @@ def main(argv: "list[str] | None" = None) -> int:
             getattr(args, "out", None),
             (".json",) if args.command == "export-config" else (".json", ".csv"),
         )
-        print(_COMMANDS[args.command](args))
+        output = _COMMANDS[args.command](args)
+        text, code = output if isinstance(output, tuple) else (output, 0)
+        print(text)
     except BrokenPipeError:  # downstream pager/head closed stdout: not an error
         return 0
+    except KeyboardInterrupt:  # pool already torn down by the runtime
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ValueError, KeyError, OSError) as exc:
         detail = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"error: {detail}", file=sys.stderr)
         return 2
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

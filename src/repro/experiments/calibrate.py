@@ -58,9 +58,10 @@ from repro.analysis.tables import render_table
 from repro.core.batch import BatchedModel
 from repro.core.model import AnalyticalModel
 from repro.core.parameters import ModelOptions
+from repro.exec import RunJournal, RunPolicy, maybe_corrupt_cache, run_supervised
 from repro.experiments.experiment import ExperimentResult
 from repro.io.cache import ResultCache, canonical_numbers, content_key
-from repro.io.schemas import CALIBRATION_SCHEMA, SIM_CURVE_SCHEMA
+from repro.io.schemas import CALIBRATION_SCHEMA, RUN_JOURNAL_SCHEMA, SIM_CURVE_SCHEMA
 from repro.scenarios.grid import as_axis, format_axis_value
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
@@ -275,6 +276,8 @@ def calibrate_options(
     granularity: str = "message",
     jobs: "int | str | None" = None,
     cache: "ResultCache | str | None" = None,
+    policy: "RunPolicy | None" = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Score every option combination against the simulators; rank them.
 
@@ -297,9 +300,17 @@ def calibrate_options(
     :class:`~repro.io.cache.ResultCache`) memoises simulator curves on
     disk, so option combinations re-score against cached ground truth and
     a repeated calibration simulates nothing.
+
+    Resilience: both fan-outs run under the supervised runtime with
+    retries per *policy*.  A scenario whose simulator curve still fails
+    is excluded from scoring (the result is then *partial*: its errors
+    land in ``data["errors"]``) rather than aborting the calibration.
+    With a cache, completed curves are journaled as they land;
+    ``resume=True`` requires that journal and replays its curves from the
+    cache, simulating only the remainder.
     """
     from repro.simulation.metrics import MeasurementWindow
-    from repro.simulation.parallel import SimWorkItem, map_jobs, resolve_jobs, run_work_items
+    from repro.simulation.parallel import SimWorkItem, map_jobs, resolve_jobs, run_work_item
 
     specs = [get_scenario(s) if isinstance(s, str) else s for s in scenarios]
     require(len(specs) > 0, "calibrate needs at least one scenario")
@@ -344,45 +355,120 @@ def calibrate_options(
         sim_curve_key(spec, loads, seeds, window, granularity)
         for spec, loads in zip(specs, loads_by_scenario)
     ]
+    # The run's identity is its full curve list: the same calibration
+    # resumes itself, any protocol/scenario change starts a fresh journal.
+    journal = None
+    if store is not None:
+        run_key = content_key(
+            {"schema": RUN_JOURNAL_SCHEMA, "kind": "calibrate", "keys": keys}
+        )
+        journal = RunJournal.for_cache(store, run_key)
+    if resume:
+        require(store is not None, "resume requires a result cache (--cache)")
+        assert journal is not None
+        require(
+            journal.exists(),
+            f"resume requested but no run journal exists at {journal.path}",
+        )
+    journaled = journal.completed_keys() if journal is not None else set()
+
     curves: list = [None] * len(specs)
+    n_resumed = 0
     if store is not None:
         for idx, key in enumerate(keys):
             entry = store.get(key)
             if _valid_curve_entry(entry, len(fractions)):
                 curves[idx] = entry
+                if key in journaled:
+                    n_resumed += 1
+    from_cache = [curves[si] is not None for si in range(len(specs))]
     pending = [idx for idx, c in enumerate(curves) if c is None]
-    items = [
-        SimWorkItem(
-            system=specs[idx].system,
-            message=specs[idx].message,
-            options=specs[idx].options,
-            generation_rate=float(lam),
-            seed=seeds[i],
-            window=window,
-            granularity=granularity,
-            pattern=specs[idx].pattern,
-        )
-        for idx in pending
-        for i, lam in enumerate(loads_by_scenario[idx])
-    ]
-    n_jobs = resolve_jobs(jobs)
-    results = run_work_items(items, jobs=min(n_jobs, max(1, len(items))))
-    cursor = 0
+    items = []
+    slot_map = []  # fan-out slot -> (scenario index, point index)
     for idx in pending:
-        point_results = results[cursor : cursor + len(fractions)]
-        cursor += len(fractions)
-        curves[idx] = {
+        for i, lam in enumerate(loads_by_scenario[idx]):
+            items.append(
+                SimWorkItem(
+                    system=specs[idx].system,
+                    message=specs[idx].message,
+                    options=specs[idx].options,
+                    generation_rate=float(lam),
+                    seed=seeds[i],
+                    window=window,
+                    granularity=granularity,
+                    pattern=specs[idx].pattern,
+                )
+            )
+            slot_map.append((idx, i))
+    n_jobs = resolve_jobs(jobs)
+
+    point_results: dict = {idx: [None] * len(fractions) for idx in pending}
+    remaining = {idx: len(fractions) for idx in pending}
+    failed_scenarios: set = set()
+
+    def _persist_curve(slot, outcome):
+        # Runs in the supervising process as each point finalises; a
+        # scenario's curve is cached+journaled the moment its last point
+        # lands, so a killed calibration resumes at curve granularity.
+        si, pi = slot_map[slot]
+        if not outcome.ok:
+            failed_scenarios.add(si)
+            return
+        point_results[si][pi] = outcome.value
+        remaining[si] -= 1
+        if remaining[si] or si in failed_scenarios:
+            return
+        curves[si] = {
             "schema": SIM_CURVE_SCHEMA,
-            "scenario": specs[idx].name,
-            "loads": [float(lam) for lam in loads_by_scenario[idx]],
+            "scenario": specs[si].name,
+            "loads": [float(lam) for lam in loads_by_scenario[si]],
             "seeds": list(seeds),
-            "latencies": [float(r.mean_latency) for r in point_results],
-            "stds": [float(r.stats.std) for r in point_results],
-            "completed": [bool(r.completed) for r in point_results],
-            "events": [int(r.events) for r in point_results],
+            "latencies": [float(r.mean_latency) for r in point_results[si]],
+            "stds": [float(r.stats.std) for r in point_results[si]],
+            "completed": [bool(r.completed) for r in point_results[si]],
+            "events": [int(r.events) for r in point_results[si]],
         }
         if store is not None:
-            store.put(keys[idx], curves[idx])
+            store.put(keys[si], curves[si])
+            maybe_corrupt_cache(store, keys[si], slot)
+            journal.record(keys[si], scenario=specs[si].name)
+
+    outcomes = run_supervised(
+        run_work_item,
+        items,
+        jobs=min(n_jobs, max(1, len(items))),
+        policy=policy,
+        on_result=_persist_curve,
+    )
+    run_errors = []
+    for slot, outcome in enumerate(outcomes):
+        if outcome.ok:
+            continue
+        si, pi = slot_map[slot]
+        failed_scenarios.add(si)
+        run_errors.append(
+            {
+                "scenario": specs[si].name,
+                "load_index": pi,
+                **outcome.error_record(),
+            }
+        )
+
+    # A scenario without ground truth cannot be scored: drop it from the
+    # calibration (partial result) instead of aborting everything.
+    ok_idx = [si for si in range(len(specs)) if curves[si] is not None]
+    require(
+        len(ok_idx) >= 1,
+        "calibration failed: no scenario produced a simulator curve",
+    )
+    failed_names = [specs[si].name for si in range(len(specs)) if si not in ok_idx]
+    if failed_names:
+        specs = [specs[si] for si in ok_idx]
+        spec_dicts = [spec_dicts[si] for si in ok_idx]
+        loads_by_scenario = [loads_by_scenario[si] for si in ok_idx]
+        curves = [curves[si] for si in ok_idx]
+        from_cache = [from_cache[si] for si in ok_idx]
+        names = [spec.name for spec in specs]
 
     # -- score every combination against the cached ground truth ------------
     payloads = [
@@ -390,7 +476,9 @@ def calibrate_options(
         for _, options in combos
         for si in range(len(specs))
     ]
-    model_curves = map_jobs(_model_curve, payloads, jobs=min(n_jobs, len(payloads)))
+    model_curves = map_jobs(
+        _model_curve, payloads, jobs=min(n_jobs, len(payloads)), policy=policy
+    )
 
     records = []
     for ci, (combo_name, options) in enumerate(combos):
@@ -475,7 +563,7 @@ def calibrate_options(
                 "sim_latencies": list(curves[si]["latencies"]),
                 "sim_stds": list(curves[si]["stds"]),
                 "sim_completed": list(curves[si]["completed"]),
-                "from_cache": si not in pending,
+                "from_cache": from_cache[si],
             }
             for si, spec in enumerate(specs)
         ],
@@ -494,12 +582,22 @@ def calibrate_options(
         "sensitivity_dropped": n_dropped,
         "columns": columns,
         "simulated_points": len(items),
-        "cached_curves": len(specs) - len(pending),
+        "cached_curves": sum(from_cache),
+        "resumed": n_resumed,
         "jobs": n_jobs,
         "cache_root": str(store.root) if store is not None else None,
+        "errors": run_errors,
+        "partial": bool(run_errors),
     }
 
     text = _render(specs, varied, records, ranking, per_scenario_winners, sensitivity, data)
+    if resume:
+        text += f"\nresumed {n_resumed} curve(s) from the run journal"
+    if failed_names:
+        text += (
+            f"\nPARTIAL: {len(failed_names)} scenario(s) failed after retries "
+            f"and are excluded from scoring: {', '.join(failed_names)}"
+        )
     return ExperimentResult(
         kind="calibrate",
         scenario=",".join(names),

@@ -609,6 +609,8 @@ class Experiment:
         cache=None,
         frontier: bool = False,
         knee_threshold_factor: float = 4.0,
+        policy=None,
+        resume: bool = False,
     ) -> ExperimentResult:
         """Design-space exploration around this experiment's spec.
 
@@ -616,7 +618,8 @@ class Experiment:
         ``(dotted_path, values)`` pairs; the Cartesian product of derived
         variants is evaluated through the batched closed forms (see
         :func:`repro.experiments.explore_grid`, which this wraps with
-        ``self.spec`` as the grid base).
+        ``self.spec`` as the grid base; ``policy``/``resume`` pass
+        through to the supervised runtime).
         """
         from repro.experiments.explore import explore_grid
         from repro.scenarios.grid import DesignGrid, as_axis
@@ -628,6 +631,8 @@ class Experiment:
             cache=cache,
             frontier=frontier,
             knee_threshold_factor=knee_threshold_factor,
+            policy=policy,
+            resume=resume,
         )
 
     def performability(
@@ -636,6 +641,8 @@ class Experiment:
         *,
         jobs: "int | str | None" = None,
         cache=None,
+        policy=None,
+        resume: bool = False,
     ) -> ExperimentResult:
         """Availability-weighted performance of this scenario under churn.
 

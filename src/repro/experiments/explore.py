@@ -28,12 +28,20 @@ columns of the long-format table):
     (:func:`repro.analysis.frontier.bandwidth_cost_proxy`).
 
 Cells are pure functions of their spec, so :func:`explore_grid` fans them
-across the shared process pool (:func:`repro.simulation.parallel.map_jobs`)
+across the supervised process pool (:func:`repro.exec.run_supervised`)
 with results bit-identical for any worker count, and memoises them in a
 content-addressed on-disk cache (:mod:`repro.io.cache`) keyed by the
 cell's numeric spec content, the metric parameters and
 :data:`repro.core.batch.ENGINE_VERSION` — re-running an enlarged grid only
 evaluates the new cells.
+
+Resilience: worker crashes and failures are retried under a
+:class:`~repro.exec.RunPolicy`; cells that still fail produce NaN metric
+rows plus an ``errors`` section in the result (a *partial* table) rather
+than aborting the run.  With a cache, every completed cell is journaled
+as it lands (:class:`~repro.exec.RunJournal`), so a killed run resumed
+with ``resume=True`` replays the completed cells and evaluates only the
+remainder — byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -47,9 +55,16 @@ from repro.analysis.capacity import max_load_for_latency
 from repro.analysis.frontier import axis_sensitivity, bandwidth_cost_proxy, pareto_frontier_cells
 from repro.analysis.tables import render_table
 from repro.core.batch import ENGINE_VERSION, BatchedModel, refine_monotone_crossing
+from repro.exec import (
+    RunJournal,
+    RunPolicy,
+    maybe_corrupt_cache,
+    resolve_jobs,
+    run_supervised,
+)
 from repro.experiments.experiment import ExperimentResult
 from repro.io.cache import ResultCache, canonical_numbers, content_key
-from repro.io.schemas import EXPLORE_CELL_SCHEMA
+from repro.io.schemas import EXPLORE_CELL_SCHEMA, RUN_JOURNAL_SCHEMA
 from repro.scenarios.grid import DesignGrid, format_axis_value
 from repro.scenarios.spec import ScenarioSpec
 
@@ -136,6 +151,21 @@ def _evaluate_cell(payload: tuple) -> dict:
     return _cell_metrics(ScenarioSpec.from_dict(spec_dict), knee_threshold_factor)
 
 
+def _error_metrics(spec: ScenarioSpec) -> dict:
+    """Placeholder metric row for a cell that failed after all retries."""
+    nan = float("nan")
+    return {
+        "saturation_load": nan,
+        "binding_resource": "",
+        "binding_kind": "error",
+        "zero_load_latency": nan,
+        "knee_load": nan,
+        "lambda_at_budget": nan,
+        "total_nodes": spec.system.total_nodes,
+        "cost_proxy": nan,
+    }
+
+
 def explore_grid(
     grid: DesignGrid,
     *,
@@ -143,27 +173,33 @@ def explore_grid(
     cache: "ResultCache | str | None" = None,
     frontier: bool = False,
     knee_threshold_factor: float = 4.0,
+    policy: "RunPolicy | None" = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Evaluate every cell of *grid*; returns a uniform ``explore`` result.
 
-    ``jobs`` fans the uncached cells across a process pool (``0``/"auto"
-    = one worker per CPU); the table is bit-identical for any worker
-    count.  ``cache`` (a directory path or :class:`ResultCache`) memoises
-    per-cell metrics on disk — a repeated run re-evaluates nothing and an
-    enlarged grid only evaluates its new cells.  With ``frontier=True``
-    the result additionally carries the Pareto frontier (min
-    ``cost_proxy``, max ``saturation_load``) and the per-axis sensitivity
-    ranking of λ*.
+    ``jobs`` fans the uncached cells across a supervised process pool
+    (``0``/"auto" = one worker per CPU); the table is bit-identical for
+    any worker count.  ``cache`` (a directory path or
+    :class:`ResultCache`) memoises per-cell metrics on disk — a repeated
+    run re-evaluates nothing and an enlarged grid only evaluates its new
+    cells.  With ``frontier=True`` the result additionally carries the
+    Pareto frontier (min ``cost_proxy``, max ``saturation_load``) and the
+    per-axis sensitivity ranking of λ*.
+
+    ``policy`` tunes retries/timeouts/pool respawn
+    (:class:`~repro.exec.RunPolicy`; default policy retries twice).
+    Cells still failing after retries yield NaN metric rows and an
+    ``errors`` section (``data["partial"]`` is then true; frontier views
+    are skipped).  With a cache, completed cells are journaled as they
+    land; ``resume=True`` requires that journal and replays its cells
+    from the cache, evaluating only the remainder.
 
     The result's ``data`` holds the long-format ``columns`` (one row per
     cell: name, one column per axis, then the metric columns), the full
-    ``cells`` records, and ``evaluated``/``cached``/``jobs`` counters.
+    ``cells`` records, and ``evaluated``/``cached``/``resumed``/``jobs``
+    counters plus ``errors``/``partial``.
     """
-    # Deferred so importing repro.experiments stays model-only: pulling the
-    # pool machinery eagerly would load the whole simulation stack for
-    # pure-model commands too.
-    from repro.simulation.parallel import map_jobs, resolve_jobs
-
     require(isinstance(grid, DesignGrid), "grid must be a DesignGrid")
     require(
         isinstance(knee_threshold_factor, (int, float)) and knee_threshold_factor > 1.0,
@@ -176,8 +212,26 @@ def explore_grid(
         store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
 
     keys = [cell_cache_key(cell.spec, knee_threshold_factor) for cell in cells]
+    # The run's identity is its full work list: the same grid resumes
+    # itself, any change to the cell set starts a fresh journal.
+    journal = None
+    if store is not None:
+        run_key = content_key(
+            {"schema": RUN_JOURNAL_SCHEMA, "kind": "explore", "keys": keys}
+        )
+        journal = RunJournal.for_cache(store, run_key)
+    if resume:
+        require(store is not None, "resume requires a result cache (--cache)")
+        assert journal is not None
+        require(
+            journal.exists(),
+            f"resume requested but no run journal exists at {journal.path}",
+        )
+    journaled = journal.completed_keys() if journal is not None else set()
+
     metrics: list = [None] * len(cells)
     n_cached = 0
+    n_resumed = 0
     if store is not None:
         for idx, key in enumerate(keys):
             entry = store.get(key)
@@ -192,25 +246,45 @@ def explore_grid(
             ):
                 metrics[idx] = entry["metrics"]
                 n_cached += 1
+                if key in journaled:
+                    n_resumed += 1
     pending = [idx for idx, m in enumerate(metrics) if m is None]
     n_jobs = min(resolve_jobs(jobs), len(pending))
-    fresh = map_jobs(
+
+    def _persist_cell(slot, outcome):
+        # Runs in the supervising process as each cell finalises, so a
+        # kill at any instant leaves cache+journal describing exactly the
+        # completed cells (crash-safe resume).
+        if not outcome.ok or store is None:
+            return
+        idx = pending[slot]
+        store.put(
+            keys[idx],
+            {
+                "schema": EXPLORE_CELL_SCHEMA,
+                "engine_version": ENGINE_VERSION,
+                "cell": cells[idx].name,
+                "metrics": outcome.value,
+            },
+        )
+        maybe_corrupt_cache(store, keys[idx], slot)
+        journal.record(keys[idx], cell=cells[idx].name)
+
+    outcomes = run_supervised(
         _evaluate_cell,
         [(cells[idx].spec.to_dict(), knee_threshold_factor) for idx in pending],
         jobs=n_jobs,
+        policy=policy,
+        on_result=_persist_cell,
     )
-    for idx, cell_metrics in zip(pending, fresh):
-        metrics[idx] = cell_metrics
-        if store is not None:
-            store.put(
-                keys[idx],
-                {
-                    "schema": EXPLORE_CELL_SCHEMA,
-                    "engine_version": ENGINE_VERSION,
-                    "cell": cells[idx].name,
-                    "metrics": cell_metrics,
-                },
-            )
+    errors = []
+    for slot, outcome in enumerate(outcomes):
+        idx = pending[slot]
+        if outcome.ok:
+            metrics[idx] = outcome.value
+        else:
+            metrics[idx] = _error_metrics(cells[idx].spec)
+            errors.append({"cell": cells[idx].name, **outcome.error_record()})
 
     columns: dict[str, list] = {"cell": [cell.name for cell in cells]}
     for axis in grid.axes:
@@ -228,8 +302,11 @@ def explore_grid(
         "knee_threshold_factor": knee_threshold_factor,
         "evaluated": len(pending),
         "cached": n_cached,
+        "resumed": n_resumed,
         "jobs": n_jobs,
         "cache_root": str(store.root) if store is not None else None,
+        "errors": errors,
+        "partial": bool(errors),
     }
 
     rows = [
@@ -246,14 +323,22 @@ def explore_grid(
             f"{len(grid.axes)} axes, {len(cells)} cells"
         ),
     )
-    if frontier:
+    if frontier and not errors:
         frontier_text, frontier_data = _frontier_views(records)
         data.update(frontier_data)
         text += "\n\n" + frontier_text
+    elif frontier:
+        text += "\n\nfrontier views skipped: the table is partial"
     text += (
         f"\nevaluated {len(pending)} of {len(cells)} cells "
         f"({n_cached} from cache, jobs={n_jobs})"
     )
+    if resume:
+        text += f"\nresumed {n_resumed} cell(s) from the run journal"
+    if errors:
+        text += (
+            f"\nPARTIAL: {len(errors)} of {len(cells)} cell(s) failed after retries"
+        )
     return ExperimentResult(
         kind="explore",
         scenario=grid.base.name,

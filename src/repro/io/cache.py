@@ -10,8 +10,10 @@ memoises such results on disk:
   payload tree (``sort_keys`` + the library's non-finite float tagging),
   so a key is stable across processes, worker counts and dict ordering;
 * :class:`ResultCache` — a two-level directory of ``<key>.json`` files
-  under one root, with atomic writes (temp file + ``os.replace``) so a
-  concurrent reader never sees a torn entry.
+  under one root, with atomic durable writes (temp file + ``fsync`` +
+  ``os.replace``) so neither a concurrent reader nor a post-crash resume
+  ever sees a torn entry; temp files orphaned by killed writers are
+  swept when the cache is opened.
 
 Callers build keys from *all* numeric inputs — for exploration cells that
 is the serialised spec (minus its derived ``name``/``description``), the
@@ -25,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from pathlib import Path
 
 from repro._util import require
@@ -77,8 +80,43 @@ class ResultCache:
     root directory is the supported way to clear it.
     """
 
+    #: Temp-file names embed the writing pid: ``.<key>.json.<pid>.tmp``.
+    _TMP_SUFFIX = re.compile(r"\.(?P<pid>\d+)\.tmp$")
+
     def __init__(self, root: "str | Path") -> None:
         self.root = Path(root)
+        self._sweep_stale_tmp()
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True
+        except OSError:
+            return True
+        return True
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files abandoned by dead writer processes.
+
+        A writer killed between creating its temp file and the atomic
+        ``os.replace`` leaves ``.<name>.<pid>.tmp`` behind.  Opening the
+        cache sweeps any whose pid no longer exists; temp files of live
+        concurrent writers are left alone.
+        """
+        if not self.root.is_dir():
+            return
+        for tmp in self.root.glob("??/.*.tmp"):
+            match = self._TMP_SUFFIX.search(tmp.name)
+            if match is None or self._pid_alive(int(match.group("pid"))):
+                continue
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def _path(self, key: str) -> Path:
         require(
@@ -107,12 +145,21 @@ class ResultCache:
             return None
 
     def put(self, key: str, payload) -> Path:
-        """Store *payload* under *key* atomically; returns the entry path."""
+        """Store *payload* under *key* atomically and durably.
+
+        The temp file is flushed and fsynced before the atomic
+        ``os.replace``, so a crash (or power loss) can leave either the
+        old entry or the complete new one — never a torn file that a
+        resumed run would have to treat as corrupt.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(to_jsonable(payload), indent=2, sort_keys=True) + "\n"
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(text)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         return path
 

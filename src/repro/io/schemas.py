@@ -19,9 +19,12 @@ __all__ = [
     "CALIBRATION_SCHEMA",
     "EXPERIMENT_SCHEMA",
     "EXPLORE_CELL_SCHEMA",
+    "FAULTS_SCHEMA",
     "GRID_SCHEMA",
+    "ITEM_OUTCOME_SCHEMA",
     "PERFORMABILITY_SCHEMA",
     "PERFORMABILITY_STATE_SCHEMA",
+    "RUN_JOURNAL_SCHEMA",
     "SCENARIO_SCHEMA",
     "SIM_CURVE_SCHEMA",
     "declared_schemas",
@@ -50,6 +53,16 @@ PERFORMABILITY_SCHEMA = "repro.performability/1"
 
 #: One cached degraded-state evaluation (:func:`repro.performability.performability_analysis`).
 PERFORMABILITY_STATE_SCHEMA = "repro.performability-state/1"
+
+#: One failed/timed-out item in a partial result's ``errors`` section
+#: (:class:`repro.exec.ItemOutcome`).
+ITEM_OUTCOME_SCHEMA = "repro.item-outcome/1"
+
+#: One line of the append-only run journal (:class:`repro.exec.RunJournal`).
+RUN_JOURNAL_SCHEMA = "repro.run-journal/1"
+
+#: A deterministic fault-injection plan (:class:`repro.exec.FaultPlan`).
+FAULTS_SCHEMA = "repro.faults/1"
 
 
 def declared_schemas() -> dict[str, str]:

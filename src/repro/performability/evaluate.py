@@ -32,8 +32,8 @@ asks for:
     rank too.
 
 Per-state evaluations are pure functions of the degraded spec, so they
-fan out through :func:`repro.simulation.parallel.map_jobs` (bit-identical
-tables for any worker count) and memoise in a content-addressed
+fan out through the supervised runtime (:func:`repro.exec.run_supervised`;
+bit-identical tables for any worker count) and memoise in a content-addressed
 :class:`~repro.io.cache.ResultCache` keyed by the degraded spec, the load
 grid and the engine version.  States that degrade to the *same* system
 (e.g. node-loss states, which only change capacity weighting) share one
@@ -49,9 +49,17 @@ import numpy as np
 from repro._util import require
 from repro.analysis.tables import render_table
 from repro.core.batch import ENGINE_VERSION, BatchedModel
+from repro.exec import (
+    ItemOutcome,
+    RunJournal,
+    RunPolicy,
+    maybe_corrupt_cache,
+    resolve_jobs,
+    run_supervised,
+)
 from repro.experiments.experiment import ExperimentResult
 from repro.io.cache import ResultCache, canonical_numbers, content_key
-from repro.io.schemas import PERFORMABILITY_STATE_SCHEMA
+from repro.io.schemas import PERFORMABILITY_STATE_SCHEMA, RUN_JOURNAL_SCHEMA
 from repro.performability.degrade import DegradedState, expand_states, resolve_populations
 from repro.performability.spec import FailureScenario
 from repro.performability.states import steady_state
@@ -86,6 +94,17 @@ def state_cache_key(degraded_spec: ScenarioSpec, loads: "tuple[float, ...]") -> 
             "spec": canonical_numbers(payload),
         }
     )
+
+
+def _error_state_metrics(n_loads: int) -> dict:
+    """Placeholder metrics for a state that failed after all retries."""
+    nan = float("nan")
+    return {
+        "saturation_load": nan,
+        "binding_resource": "",
+        "zero_load_latency": nan,
+        "latencies": [nan] * n_loads,
+    }
 
 
 def _evaluate_state(payload: tuple) -> dict:
@@ -140,11 +159,16 @@ def _ranking(
             continue
         mode = scenario.modes[st.state.index(1)]
         capacity = st.active_nodes * m["saturation_load"]
+        impact = 1.0 - capacity / (n_total * lam_pristine)
+        # A state whose evaluation failed (NaN metrics in a partial
+        # result) cannot be ranked; keep the table well-ordered.
+        if not math.isfinite(impact):
+            continue
         rows.append(
             {
                 "mode": mode.label,
                 "state": st.label,
-                "impact": 1.0 - capacity / (n_total * lam_pristine),
+                "impact": impact,
                 "saturation_load": m["saturation_load"],
                 "active_nodes": st.active_nodes,
                 "probability": p,
@@ -160,6 +184,8 @@ def performability_analysis(
     *,
     jobs: "int | str | None" = None,
     cache: "ResultCache | str | None" = None,
+    policy: "RunPolicy | None" = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Availability-weighted performance of *spec* under *failures*.
 
@@ -176,16 +202,22 @@ def performability_analysis(
     :class:`~repro.io.cache.ResultCache`) memoises per-state metrics on
     disk, so a repeated run evaluates nothing.
 
+    ``policy`` tunes retries/timeouts/pool respawn
+    (:class:`~repro.exec.RunPolicy`).  States still failing after
+    retries yield NaN metric rows and an ``errors`` section (the result
+    is then *partial*: NaN propagates into the weighted aggregates, and
+    unrankable states drop out of the failure ranking).  With a cache,
+    completed states are journaled as they land; ``resume=True``
+    requires that journal and replays its states from the cache,
+    evaluating only the remainder.
+
     The result's ``data`` holds the per-state ``columns`` table (what CSV
     export writes), the weighted ``curve``, the failure ``ranking``, the
-    summary scalars and ``evaluated``/``cached``/``jobs`` counters; its
-    ``spec`` is composite — ``{"scenario": ..., "failures": ...}`` — so a
-    saved result reproduces the whole study.
+    summary scalars and ``evaluated``/``cached``/``resumed``/``jobs``
+    counters plus ``errors``/``partial``; its ``spec`` is composite —
+    ``{"scenario": ..., "failures": ...}`` — so a saved result reproduces
+    the whole study.
     """
-    # Deferred so importing repro.performability stays model-only: pulling
-    # the pool machinery eagerly would load the simulation stack too.
-    from repro.simulation.parallel import map_jobs, resolve_jobs
-
     require(isinstance(spec, ScenarioSpec), "spec must be a ScenarioSpec")
     require(isinstance(failures, FailureScenario), "failures must be a FailureScenario")
 
@@ -209,8 +241,27 @@ def performability_analysis(
         spec_dicts.append(degraded.to_dict())
         keys.append(state_cache_key(degraded, tuple(loads)))
 
+    # The run's identity is its full (deduplicated) state key list: the
+    # same study resumes itself, any change starts a fresh journal.
+    journal: "RunJournal | None" = None
+    if store is not None:
+        run_key = content_key(
+            {"schema": RUN_JOURNAL_SCHEMA, "kind": "performability", "keys": keys}
+        )
+        journal = RunJournal.for_cache(store, run_key)
+    if resume:
+        require(store is not None, "resume requires a result cache (--cache)")
+        assert journal is not None
+        require(
+            journal.exists(),
+            f"resume requested but no run journal exists at {journal.path}",
+        )
+    journaled = journal.completed_keys() if journal is not None else set()
+
     metrics: list = [None] * len(states)
     n_cached = 0
+    n_resumed = 0
+    resumed_keys: set[str] = set()
     if store is not None:
         for idx, key in enumerate(keys):
             entry = store.get(key)
@@ -226,6 +277,9 @@ def performability_analysis(
             ):
                 metrics[idx] = entry["metrics"]
                 n_cached += 1
+                if key in journaled and key not in resumed_keys:
+                    resumed_keys.add(key)
+                    n_resumed += 1
 
     # Distinct availability states can degrade to the same system (node
     # losses leave the topology alone); group pending states by cache key
@@ -236,23 +290,48 @@ def performability_analysis(
             pending.setdefault(keys[idx], []).append(idx)
     unique = list(pending)
     n_jobs = min(resolve_jobs(jobs), len(unique))
-    fresh = map_jobs(
+
+    def _persist_state(slot: int, outcome: ItemOutcome) -> None:
+        # Runs in the supervising process as each state finalises, so a
+        # kill at any instant leaves cache+journal describing exactly the
+        # completed states (crash-safe resume).
+        if not outcome.ok or store is None:
+            return
+        key = unique[slot]
+        store.put(
+            key,
+            {
+                "schema": PERFORMABILITY_STATE_SCHEMA,
+                "engine_version": ENGINE_VERSION,
+                "state": states[pending[key][0]].label,
+                "metrics": outcome.value,
+            },
+        )
+        maybe_corrupt_cache(store, key, slot)
+        assert journal is not None
+        journal.record(key, state=states[pending[key][0]].label)
+
+    outcomes = run_supervised(
         _evaluate_state,
         [(spec_dicts[pending[key][0]], tuple(loads)) for key in unique],
         jobs=n_jobs,
+        policy=policy,
+        on_result=_persist_state,
     )
-    for key, state_metrics in zip(unique, fresh):
-        for idx in pending[key]:
-            metrics[idx] = state_metrics
-        if store is not None:
-            store.put(
-                key,
+    errors: list[dict] = []
+    for slot, outcome in enumerate(outcomes):
+        key = unique[slot]
+        if outcome.ok:
+            for idx in pending[key]:
+                metrics[idx] = outcome.value
+        else:
+            for idx in pending[key]:
+                metrics[idx] = _error_state_metrics(len(loads))
+            errors.append(
                 {
-                    "schema": PERFORMABILITY_STATE_SCHEMA,
-                    "engine_version": ENGINE_VERSION,
                     "state": states[pending[key][0]].label,
-                    "metrics": state_metrics,
-                },
+                    **outcome.error_record(),
+                }
             )
 
     n_total = spec.system.total_nodes
@@ -299,8 +378,11 @@ def performability_analysis(
         "ranking": ranking,
         "evaluated": len(unique),
         "cached": n_cached,
+        "resumed": n_resumed,
         "jobs": n_jobs,
         "cache_root": str(store.root) if store is not None else None,
+        "errors": errors,
+        "partial": bool(errors),
     }
 
     state_rows = [
@@ -335,6 +417,12 @@ def performability_analysis(
         f"\nevaluated {len(unique)} of {len(states)} states "
         f"({n_cached} from cache, jobs={n_jobs})"
     )
+    if resume:
+        text += f"\nresumed {n_resumed} state(s) from the run journal"
+    if errors:
+        text += (
+            f"\nPARTIAL: {len(errors)} distinct state(s) failed after retries"
+        )
     return ExperimentResult(
         kind="performability",
         scenario=spec.name,

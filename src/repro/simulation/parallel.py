@@ -6,7 +6,8 @@ This module makes that layer scale with the hardware: any batch of
 independent simulator runs — replicas of one operating point, the load
 points of a validation grid, whole scenarios — is described as a list of
 :class:`SimWorkItem` and executed by :func:`run_work_items` either
-in-process or across a ``ProcessPoolExecutor``.
+in-process or across a process pool supervised by the resilient runtime
+(:mod:`repro.exec`).
 
 Determinism: a work item is a pure function of spec-level inputs
 (system/message/options are frozen dataclasses, patterns are registered
@@ -14,11 +15,14 @@ classes — all picklable) plus one integer seed, so results are
 bit-identical for any worker count, including the serial path.  Order is
 preserved: result ``i`` always belongs to item ``i``.
 
-Failure semantics: an exception raised inside a worker propagates to the
-caller when its result is gathered (the pool is shut down on the way
-out); it is never swallowed into a partial result list.
+Failure semantics: the supervisor transparently retries failed or
+interrupted items (worker crashes respawn the pool) under the run's
+:class:`~repro.exec.RunPolicy`; an item that still fails after its
+retries propagates its original exception to the caller — never a
+partial result list.  Callers that want partial results instead use
+:func:`repro.exec.run_supervised` directly.
 
-Workers keep a small per-process session cache keyed by
+Workers keep a small per-process LRU session cache keyed by
 ``(system, message, options)``, so fanning one scenario's load points
 across ``k`` workers builds at most ``k`` fabrics rather than one per
 point.
@@ -26,12 +30,11 @@ point.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro._util import require, require_int
+from repro._util import require
 from repro.core.parameters import MessageSpec, ModelOptions, SystemConfig
+from repro.exec import RunPolicy, raise_on_failure, resolve_jobs, run_supervised
 from repro.simulation.metrics import MeasurementWindow
 from repro.simulation.runner import SimulationResult, SimulationSession
 from repro.simulation.traffic import SimTrafficPattern
@@ -56,55 +59,48 @@ class SimWorkItem:
     max_events: int = 500_000_000
 
 
-def resolve_jobs(jobs: "int | str | None") -> int:
-    """Normalise a ``--jobs`` value to a worker count.
-
-    ``None``/``1`` mean serial in-process execution; ``0`` or ``"auto"``
-    mean one worker per available CPU; any other positive int is taken
-    as-is.
-    """
-    if jobs is None:
-        return 1
-    require(not isinstance(jobs, bool), "jobs must be an int or 'auto', not a bool")
-    if jobs == "auto" or jobs == 0:
-        return max(1, os.cpu_count() or 1)
-    require_int(jobs, "jobs", minimum=1)
-    return int(jobs)
-
-
-def map_jobs(fn, payloads, *, jobs: "int | str | None" = None) -> list:
+def map_jobs(
+    fn,
+    payloads,
+    *,
+    jobs: "int | str | None" = None,
+    policy: "RunPolicy | None" = None,
+) -> list:
     """Order-preserving map of *fn* over *payloads*, serial or pooled.
 
     The generic fan-out primitive behind :func:`run_work_items`,
-    ``Experiment.sweep_many`` and ``explore_grid``: ``jobs`` follows
-    :func:`resolve_jobs`, the pool never exceeds the payload count, result
-    ``i`` always belongs to payload ``i``, and a worker exception
-    propagates to the caller (never a partial list).  *fn* must be a
-    module-level callable and every payload picklable when ``jobs > 1``.
+    ``Experiment.sweep_many`` and ``explore_grid``, now a throwing facade
+    over :func:`repro.exec.run_supervised`: ``jobs`` follows
+    :func:`repro.exec.resolve_jobs`, the pool never exceeds the payload
+    count, result ``i`` always belongs to payload ``i``, and worker
+    crashes/failures are retried under *policy* (default
+    :class:`~repro.exec.RunPolicy`).  An item that still fails after its
+    retries re-raises its original exception (never a partial list).
+    *fn* must be a module-level callable and every payload picklable when
+    ``jobs > 1``.
     """
-    payloads = list(payloads)
-    n_jobs = min(resolve_jobs(jobs), len(payloads))
-    if n_jobs <= 1:
-        return [fn(p) for p in payloads]
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        return list(pool.map(fn, payloads))
+    outcomes = raise_on_failure(
+        run_supervised(fn, payloads, jobs=jobs, policy=policy)
+    )
+    return [outcome.value for outcome in outcomes]
 
 
-# Per-process session cache (bounded: the worker processes of one pool see
-# a handful of configurations, but a long-lived parent process may run many
-# different scenarios through the serial path).
+# Per-process LRU session cache (bounded: the worker processes of one pool
+# see a handful of configurations, but a long-lived parent process may run
+# many different scenarios through the serial path).  Insertion order is
+# recency order: hits re-insert at the end, eviction pops the front.
 _SESSION_CACHE: dict = {}
 _SESSION_CACHE_MAX = 8
 
 
 def _session_for(item: SimWorkItem) -> SimulationSession:
     key = (item.system, item.message, item.options)
-    session = _SESSION_CACHE.get(key)
+    session = _SESSION_CACHE.pop(key, None)
     if session is None:
         if len(_SESSION_CACHE) >= _SESSION_CACHE_MAX:
             _SESSION_CACHE.pop(next(iter(_SESSION_CACHE)))
         session = SimulationSession(item.system, item.message, options=item.options)
-        _SESSION_CACHE[key] = session
+    _SESSION_CACHE[key] = session
     return session
 
 
@@ -132,13 +128,15 @@ def run_work_items(
     *,
     jobs: "int | str | None" = None,
     session: SimulationSession | None = None,
+    policy: "RunPolicy | None" = None,
 ) -> list[SimulationResult]:
     """Run *items* serially or across a process pool; results in item order.
 
-    ``jobs`` follows :func:`resolve_jobs`.  The pool never exceeds the
-    item count.  With ``jobs <= 1`` every item runs in this process,
-    preferring *session* (the caller's cached fabric) for items that
-    match its configuration.
+    ``jobs`` follows :func:`repro.exec.resolve_jobs`.  The pool never
+    exceeds the item count.  With ``jobs <= 1`` every item runs in this
+    process, preferring *session* (the caller's cached fabric) for items
+    that match its configuration.  Pooled execution is supervised under
+    *policy* (see :func:`map_jobs`).
     """
     items = list(items)
     for item in items:
@@ -152,4 +150,4 @@ def run_work_items(
             else run_work_item(item)
             for item in items
         ]
-    return map_jobs(run_work_item, items, jobs=n_jobs)
+    return map_jobs(run_work_item, items, jobs=n_jobs, policy=policy)

@@ -218,6 +218,50 @@ class TestSweepMany:
             Experiment.sweep_many([])
 
 
+class TestWorkerSessionCacheLRU:
+    @staticmethod
+    def _item(system, message, flits):
+        from dataclasses import replace
+
+        return SimWorkItem(
+            system=system,
+            message=replace(message, length_flits=flits),
+            generation_rate=1e-3,
+            seed=0,
+            window=WINDOW,
+        )
+
+    def test_hit_refreshes_recency(self, small_system, small_message, monkeypatch):
+        """A cache hit must move the session to most-recent, not leave it
+        at insertion order — under FIFO the steady reuse pattern
+        (A B A C A D ...) would evict A every time the cache fills."""
+        from repro.simulation import parallel
+
+        monkeypatch.setattr(parallel, "_SESSION_CACHE", {})
+        monkeypatch.setattr(parallel, "_SESSION_CACHE_MAX", 2)
+        a, b, c = (self._item(small_system, small_message, n) for n in (4, 8, 16))
+        session_a = parallel._session_for(a)
+        parallel._session_for(b)
+        assert parallel._session_for(a) is session_a  # hit refreshes a
+        parallel._session_for(c)  # fills the cache: must evict b, not a
+        assert parallel._session_for(a) is session_a
+        assert len(parallel._SESSION_CACHE) == 2
+
+    def test_eviction_drops_least_recently_used(
+        self, small_system, small_message, monkeypatch
+    ):
+        from repro.simulation import parallel
+
+        monkeypatch.setattr(parallel, "_SESSION_CACHE", {})
+        monkeypatch.setattr(parallel, "_SESSION_CACHE_MAX", 2)
+        a, b, c = (self._item(small_system, small_message, n) for n in (4, 8, 16))
+        parallel._session_for(a)
+        session_b = parallel._session_for(b)
+        parallel._session_for(c)  # evicts a (least recently used)
+        assert parallel._session_for(b) is session_b
+        assert (a.system, a.message, a.options) not in parallel._SESSION_CACHE
+
+
 class TestSessionDrawCacheReuse:
     def test_repeated_load_points_replay_identically(self, small_session):
         """The per-seed draw cache must not drift across runs of a session."""

@@ -257,6 +257,32 @@ class TestParallelSafetyRules:
         )
         assert codes(ok, "src/repro/simulation/foo.py") == []
 
+    def test_rp303_pool_import_outside_exec(self):
+        bad = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert "RP303" in codes(bad, "src/repro/simulation/parallel.py")
+
+    def test_rp303_pool_import_alias_outside_exec(self):
+        bad = "from concurrent.futures import ProcessPoolExecutor as PPE\n"
+        assert "RP303" in codes(bad, "src/repro/experiments/foo.py")
+
+    def test_rp303_module_attribute_call_outside_exec(self):
+        bad = (
+            "import concurrent.futures\n"
+            "pool = concurrent.futures.ProcessPoolExecutor(max_workers=2)\n"
+        )
+        assert "RP303" in codes(bad, "src/repro/experiments/foo.py")
+
+    def test_rp303_exec_runtime_is_exempt(self):
+        ok = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=2)\n"
+        )
+        assert codes(ok, "src/repro/exec/supervisor.py") == []
+
+    def test_rp303_other_futures_imports_are_clean(self):
+        ok = "from concurrent.futures import FIRST_COMPLETED, wait\n"
+        assert codes(ok, "src/repro/experiments/foo.py") == []
+
 
 # ---------------------------------------------------------------------------
 # RF — fingerprints
@@ -510,6 +536,9 @@ class TestShippedTree:
             "SIM_CURVE_SCHEMA": "repro.sim-curve/1",
             "PERFORMABILITY_SCHEMA": "repro.performability/1",
             "PERFORMABILITY_STATE_SCHEMA": "repro.performability-state/1",
+            "ITEM_OUTCOME_SCHEMA": "repro.item-outcome/1",
+            "RUN_JOURNAL_SCHEMA": "repro.run-journal/1",
+            "FAULTS_SCHEMA": "repro.faults/1",
         }
         import repro.experiments as experiments
         import repro.performability as performability
@@ -524,6 +553,11 @@ class TestShippedTree:
             performability.PERFORMABILITY_STATE_SCHEMA
             is declared["PERFORMABILITY_STATE_SCHEMA"]
         )
+        import repro.exec as exec_runtime
+
+        assert exec_runtime.ITEM_OUTCOME_SCHEMA is declared["ITEM_OUTCOME_SCHEMA"]
+        assert exec_runtime.RUN_JOURNAL_SCHEMA is declared["RUN_JOURNAL_SCHEMA"]
+        assert exec_runtime.FAULTS_SCHEMA is declared["FAULTS_SCHEMA"]
 
     def test_diagnostic_render_format(self):
         diag = Diagnostic("RD101", "src/x.py", 3, 4, "message", "f")

@@ -22,7 +22,9 @@ families over normalized ASTs (docstrings and comments never count):
   ``from_dict`` routes through ``reject_unknown_keys``, and every
   ``repro.*/N`` schema tag is declared in the single registry module.
 * **RP — parallel safety**: only module-level callables into
-  ``map_jobs``, only picklable field types on work-item dataclasses.
+  ``map_jobs``, only picklable field types on work-item dataclasses,
+  and no direct ``ProcessPoolExecutor`` use outside the supervised
+  execution runtime (``repro/exec/``).
 
 Run ``python -m tools.reprolint src/repro`` from the repository root;
 see ``docs/static_analysis.md`` for the full catalogue and the
@@ -78,4 +80,5 @@ RULES: dict[str, str] = {
     "RS203": "'repro.*/N' schema tag declared outside the schema registry module",
     "RP301": "lambda or nested function handed to parallel.map_jobs (not picklable)",
     "RP302": "work-item dataclass field with a non-picklable (or unknown) type",
+    "RP303": "direct ProcessPoolExecutor use outside the supervised runtime (repro/exec/)",
 }

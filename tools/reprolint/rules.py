@@ -126,6 +126,11 @@ def _is_schema_registry(rel_path: str) -> bool:
     return parts[-2:] == ("io", "schemas.py")
 
 
+def _is_exec_runtime(rel_path: str) -> bool:
+    """RP303 exemption: the supervised execution runtime package."""
+    return "exec" in _parts(rel_path)[:-1]
+
+
 # ---------------------------------------------------------------------------
 # RD — determinism
 # ---------------------------------------------------------------------------
@@ -373,10 +378,41 @@ def _check_parallel_safety(
     tree: ast.Module, rel_path: str, aliases: dict[str, str], scopes: _Scopes
 ) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
+    exec_runtime = _is_exec_runtime(rel_path)
 
     for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
+        if isinstance(node, ast.ImportFrom):
+            if (
+                not exec_runtime
+                and node.module == "concurrent.futures"
+                and node.level == 0
+                and any(alias.name == "ProcessPoolExecutor" for alias in node.names)
+            ):
+                diags.append(
+                    Diagnostic(
+                        "RP303", rel_path, node.lineno, node.col_offset,
+                        "ProcessPoolExecutor imported outside repro/exec/; bare "
+                        "pools have no retry/timeout/respawn supervision — use "
+                        "repro.exec.run_supervised (or parallel.map_jobs)",
+                        scopes.symbol(node),
+                    )
+                )
+        elif isinstance(node, ast.Call):
             resolved = _resolve(node.func, aliases) or ""
+            if (
+                not exec_runtime
+                and isinstance(node.func, ast.Attribute)
+                and resolved == "concurrent.futures.ProcessPoolExecutor"
+            ):
+                diags.append(
+                    Diagnostic(
+                        "RP303", rel_path, node.lineno, node.col_offset,
+                        "ProcessPoolExecutor constructed outside repro/exec/; "
+                        "bare pools have no retry/timeout/respawn supervision — "
+                        "use repro.exec.run_supervised (or parallel.map_jobs)",
+                        scopes.symbol(node),
+                    )
+                )
             if resolved.split(".")[-1] == "map_jobs" and node.args:
                 fn = node.args[0]
                 if isinstance(fn, ast.Lambda):
