@@ -59,11 +59,13 @@ def reject_unknown_keys(
     if not isinstance(data, dict):
         raise ValueError(f"{what} must be a mapping, got {type(data).__name__}")
     allowed = tuple(allowed)
-    unknown = sorted(set(data) - set(allowed))
-    if unknown:
+    # Deserialisers call this on every nested section of every spec, so the
+    # happy path stays allocation-free; sets/sorting only build error text.
+    if any(key not in allowed for key in data):
+        unknown = sorted(set(data) - set(allowed))
         raise ValueError(f"unknown {what} key(s) {unknown}; allowed: {sorted(allowed)}")
-    missing = sorted(set(required) - set(data))
-    if missing:
+    if any(key not in data for key in required):
+        missing = sorted(set(required) - set(data))
         raise ValueError(f"{what} missing required key(s) {missing}")
 
 

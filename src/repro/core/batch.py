@@ -80,8 +80,10 @@ __all__ = ["BatchedModel", "ENGINE_VERSION", "ResourceRates", "refine_monotone_c
 #: Version tag of the engine's numerics, embedded in on-disk cache keys
 #: (:mod:`repro.io.cache`).  Bump whenever a change alters any number the
 #: closed forms produce — saturation loads, latencies, resource rates —
-#: so stale cached results can never be mistaken for fresh ones.
-ENGINE_VERSION = "batch/1"
+#: or the evaluation path that produces them (e.g. the cross-cell stacked
+#: engine in :mod:`repro.core.stacked`), so stale cached results can never
+#: be mistaken for fresh ones.
+ENGINE_VERSION = "batch/2"
 
 
 def refine_monotone_crossing(

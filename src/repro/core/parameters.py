@@ -45,6 +45,14 @@ __all__ = [
 ]
 
 
+#: Shared-instance memos for the frozen leaf deserialisers (value-keyed —
+#: the key records each field's type so ``500`` and ``500.0`` stay distinct
+#: through ``to_dict`` round-trips).  Bounded: cleared wholesale at the cap.
+_MEMO_CAP = 4096
+_NETWORK_MEMO: dict = {}
+_CLUSTER_MEMO: dict = {}
+
+
 def nodes_in_tree(switch_ports: int, tree_depth: int) -> int:
     """Number of processing nodes of an ``m``-port ``n``-tree: ``2*(m/2)**n``."""
     require_int(switch_ports, "switch_ports", minimum=2)
@@ -103,19 +111,39 @@ class NetworkCharacteristics:
 
     @classmethod
     def from_dict(cls, data: dict) -> "NetworkCharacteristics":
-        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected).
+
+        Instances are frozen value objects, so identical mappings share one
+        instance via a small memo — design-grid expansion deserialises the
+        same handful of network sections tens of thousands of times.
+        """
         _reject_unknown_keys(
             data,
             ("bandwidth", "network_latency", "switch_latency", "name"),
             "network",
             required=("bandwidth", "network_latency", "switch_latency"),
         )
-        return cls(
-            bandwidth=data["bandwidth"],
-            network_latency=data["network_latency"],
-            switch_latency=data["switch_latency"],
-            name=data.get("name", "net"),
+        key = tuple(
+            (type(v), v)
+            for v in (
+                data["bandwidth"],
+                data["network_latency"],
+                data["switch_latency"],
+                data.get("name", "net"),
+            )
         )
+        inst = _NETWORK_MEMO.get(key)
+        if inst is None:
+            if len(_NETWORK_MEMO) >= _MEMO_CAP:
+                _NETWORK_MEMO.clear()
+            inst = cls(
+                bandwidth=data["bandwidth"],
+                network_latency=data["network_latency"],
+                switch_latency=data["switch_latency"],
+                name=data.get("name", "net"),
+            )
+            _NETWORK_MEMO[key] = inst
+        return inst
 
 
 #: Paper Table 2, "Net.1" (used for all ICN1 networks and for ICN2).
@@ -177,20 +205,33 @@ class ClusterSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterSpec":
-        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected)."""
+        """Rebuild from a :meth:`to_dict` mapping (unknown keys rejected).
+
+        Like :meth:`NetworkCharacteristics.from_dict`, identical mappings
+        share one frozen instance (a grid of N cells re-reads every
+        cluster section N times).
+        """
         _reject_unknown_keys(
             data,
             ("tree_depth", "icn1", "ecn1", "compute_power", "name"),
             "cluster",
             required=("tree_depth",),
         )
-        return cls(
-            tree_depth=data["tree_depth"],
-            icn1=NetworkCharacteristics.from_dict(data["icn1"]) if "icn1" in data else NET1,
-            ecn1=NetworkCharacteristics.from_dict(data["ecn1"]) if "ecn1" in data else NET2,
-            compute_power=data.get("compute_power", 1.0),
-            name=data.get("name", ""),
-        )
+        icn1 = NetworkCharacteristics.from_dict(data["icn1"]) if "icn1" in data else NET1
+        ecn1 = NetworkCharacteristics.from_dict(data["ecn1"]) if "ecn1" in data else NET2
+        depth = data["tree_depth"]
+        power = data.get("compute_power", 1.0)
+        name = data.get("name", "")
+        key = ((type(depth), depth), icn1, ecn1, (type(power), power), name)
+        inst = _CLUSTER_MEMO.get(key)
+        if inst is None:
+            if len(_CLUSTER_MEMO) >= _MEMO_CAP:
+                _CLUSTER_MEMO.clear()
+            inst = cls(
+                tree_depth=depth, icn1=icn1, ecn1=ecn1, compute_power=power, name=name
+            )
+            _CLUSTER_MEMO[key] = inst
+        return inst
 
 
 @dataclass(frozen=True)

@@ -34,9 +34,11 @@ content-addressed on-disk cache (:mod:`repro.io.cache`) keyed by the
 scenario's numeric spec content, the (loads, seeds, window, granularity)
 protocol and :data:`repro.simulation.runner.TRAJECTORY_VERSION` — a full
 96-way calibration costs roughly one validation run, and a repeated run
-simulates nothing.  Both fan-outs (simulation points and per-combination
-model curves) go through :func:`repro.simulation.parallel.map_jobs`; the
-result tables are bit-identical for any worker count.
+simulates nothing.  The simulation points fan out through
+:func:`repro.simulation.parallel.map_jobs`; the model side is priced in
+one cross-cell stack (:class:`repro.core.stacked.StackedModel`) on serial
+runs and through the same fan-out under ``--jobs``/fault policies; the
+result tables are bit-identical for any worker count and either path.
 
 Results land in the stable ``repro.calibration/1`` schema: the
 per-combination error table, each scenario's winner, the global winner and
@@ -245,6 +247,35 @@ def _model_curve(payload: tuple) -> list:
         spec.system, spec.message, ModelOptions.from_dict(options_dict), spec.pattern
     )
     return [float(model.evaluate(float(lam)).latency) for lam in loads]
+
+
+def _stacked_model_curves(
+    specs: "list[ScenarioSpec]", combos: list, loads_by_scenario: "list[list[float]]"
+) -> "list[list[float]] | None":
+    """Every combination × scenario curve in one stacked evaluation.
+
+    Row order matches the ``map_jobs`` payload order (combination-major,
+    scenario-minor).  The stacked engine is bit-identical to the scalar
+    :class:`~repro.core.model.AnalyticalModel` reference path (locked by
+    ``tests/test_stacked.py``), so calibration scores are unchanged to
+    the bit.  Returns ``None`` when the stack cannot evaluate this cell
+    set — the caller then falls back to the per-combination fan-out.
+    """
+    from repro.core.stacked import StackedModel
+
+    try:
+        cells = [
+            (spec.system, spec.message, options, spec.pattern)
+            for _, options in combos
+            for spec in specs
+        ]
+        grids = np.array(
+            [loads for _ in combos for loads in loads_by_scenario], dtype=np.float64
+        )
+        latencies = StackedModel(cells).evaluate_latencies(grids)
+    except Exception:
+        return None
+    return [[float(v) for v in row] for row in latencies]
 
 
 def _rank_key(record: dict):
@@ -471,14 +502,23 @@ def calibrate_options(
         names = [spec.name for spec in specs]
 
     # -- score every combination against the cached ground truth ------------
-    payloads = [
-        (spec_dicts[si], options.to_dict(), loads_by_scenario[si])
-        for _, options in combos
-        for si in range(len(specs))
-    ]
-    model_curves = map_jobs(
-        _model_curve, payloads, jobs=min(n_jobs, len(payloads)), policy=policy
-    )
+    # Serial runs without a fault policy stack the whole model side —
+    # every combination × scenario priced in one cross-cell evaluation,
+    # bit-identical to the per-combination fan-out below.
+    model_curves = None
+    stacked = False
+    if jobs in (None, 1) and policy is None:
+        model_curves = _stacked_model_curves(specs, combos, loads_by_scenario)
+        stacked = model_curves is not None
+    if model_curves is None:
+        payloads = [
+            (spec_dicts[si], options.to_dict(), loads_by_scenario[si])
+            for _, options in combos
+            for si in range(len(specs))
+        ]
+        model_curves = map_jobs(
+            _model_curve, payloads, jobs=min(n_jobs, len(payloads)), policy=policy
+        )
 
     records = []
     for ci, (combo_name, options) in enumerate(combos):
@@ -582,6 +622,7 @@ def calibrate_options(
         "sensitivity_dropped": n_dropped,
         "columns": columns,
         "simulated_points": len(items),
+        "stacked": stacked,
         "cached_curves": sum(from_cache),
         "resumed": n_resumed,
         "jobs": n_jobs,

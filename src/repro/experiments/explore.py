@@ -27,8 +27,11 @@ columns of the long-format table):
     system size and the provisioning cost proxy
     (:func:`repro.analysis.frontier.bandwidth_cost_proxy`).
 
-Cells are pure functions of their spec, so :func:`explore_grid` fans them
-across the supervised process pool (:func:`repro.exec.run_supervised`)
+Cells are pure functions of their spec, so :func:`explore_grid` prices
+them either through one cross-cell stacked evaluation
+(:class:`repro.core.stacked.StackedModel`; the serial fast path) or by
+fanning them across the supervised process pool
+(:func:`repro.exec.run_supervised`)
 with results bit-identical for any worker count, and memoises them in a
 content-addressed on-disk cache (:mod:`repro.io.cache`) keyed by the
 cell's numeric spec content, the metric parameters and
@@ -55,6 +58,7 @@ from repro.analysis.capacity import max_load_for_latency
 from repro.analysis.frontier import axis_sensitivity, bandwidth_cost_proxy, pareto_frontier_cells
 from repro.analysis.tables import render_table
 from repro.core.batch import ENGINE_VERSION, BatchedModel, refine_monotone_crossing
+from repro.core.stacked import StackedModel
 from repro.exec import (
     RunJournal,
     RunPolicy,
@@ -151,6 +155,48 @@ def _evaluate_cell(payload: tuple) -> dict:
     return _cell_metrics(ScenarioSpec.from_dict(spec_dict), knee_threshold_factor)
 
 
+def _stacked_metrics(specs: "list[ScenarioSpec]", knee_threshold_factor: float) -> "list[dict] | None":
+    """All pending cells priced in one :class:`StackedModel` evaluation.
+
+    Returns per-cell metric mappings bit-identical to
+    :func:`_cell_metrics` (the stacked engine's contract, locked by
+    ``tests/test_stacked.py``), or ``None`` if the stack cannot evaluate
+    this cell set — the caller then falls back to the supervised
+    per-cell path, which also owns retry/NaN-row semantics.
+    """
+    try:
+        stack = StackedModel.from_specs(specs)
+        lam_star = stack.saturation_load()
+        binding = stack.binding_resources()
+        zero = stack.zero_load_latencies()
+        knee = stack.knee_loads(knee_threshold_factor)
+        budgets = np.array(
+            [
+                spec.latency_budget if math.isfinite(spec.latency_budget) else float("nan")
+                for spec in specs
+            ],
+            dtype=np.float64,
+        )
+        at_budget = stack.loads_at_budget(budgets)
+    except Exception:
+        return None
+    return [
+        {
+            "saturation_load": float(lam_star[k]),
+            "binding_resource": binding[k],
+            "binding_kind": (
+                "concentrator" if binding[k].endswith(":concentrator") else "source-queue"
+            ),
+            "zero_load_latency": float(zero[k]),
+            "knee_load": float(knee[k]),
+            "lambda_at_budget": float(at_budget[k]),
+            "total_nodes": spec.system.total_nodes,
+            "cost_proxy": bandwidth_cost_proxy(spec.system),
+        }
+        for k, spec in enumerate(specs)
+    ]
+
+
 def _error_metrics(spec: ScenarioSpec) -> dict:
     """Placeholder metric row for a cell that failed after all retries."""
     nan = float("nan")
@@ -195,10 +241,16 @@ def explore_grid(
     land; ``resume=True`` requires that journal and replays its cells
     from the cache, evaluating only the remainder.
 
+    Serial runs (``jobs`` absent or 1) with no explicit ``policy`` and no
+    ``resume`` price all uncached cells through one
+    :class:`~repro.core.stacked.StackedModel` evaluation — bit-identical
+    to the per-cell path by the stacked engine's contract, roughly 50×
+    faster on large grids (``data["stacked"]`` reports which path ran).
+
     The result's ``data`` holds the long-format ``columns`` (one row per
     cell: name, one column per axis, then the metric columns), the full
-    ``cells`` records, and ``evaluated``/``cached``/``resumed``/``jobs``
-    counters plus ``errors``/``partial``.
+    ``cells`` records, and ``evaluated``/``cached``/``cache_hits``/
+    ``stacked``/``resumed``/``jobs`` counters plus ``errors``/``partial``.
     """
     require(isinstance(grid, DesignGrid), "grid must be a DesignGrid")
     require(
@@ -211,11 +263,15 @@ def explore_grid(
     if cache is not None:
         store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
 
-    keys = [cell_cache_key(cell.spec, knee_threshold_factor) for cell in cells]
-    # The run's identity is its full work list: the same grid resumes
-    # itself, any change to the cell set starts a fresh journal.
+    # Cache keys only exist to address the store and the journal; with no
+    # cache configured, hashing 500 specs is pure overhead on the hot
+    # stacked path, so the whole identity block is store-gated.
+    keys: "list[str]" = []
     journal = None
     if store is not None:
+        keys = [cell_cache_key(cell.spec, knee_threshold_factor) for cell in cells]
+        # The run's identity is its full work list: the same grid resumes
+        # itself, any change to the cell set starts a fresh journal.
         run_key = content_key(
             {"schema": RUN_JOURNAL_SCHEMA, "kind": "explore", "keys": keys}
         )
@@ -229,12 +285,14 @@ def explore_grid(
         )
     journaled = journal.completed_keys() if journal is not None else set()
 
+    # Cache lookups resolve *before* any model construction: pure cache
+    # hits never build an engine, and the one-pass ``get_many`` replaces
+    # N per-key stats with one directory listing per fan-out prefix.
     metrics: list = [None] * len(cells)
     n_cached = 0
     n_resumed = 0
     if store is not None:
-        for idx, key in enumerate(keys):
-            entry = store.get(key)
+        for idx, (key, entry) in enumerate(zip(keys, store.get_many(keys))):
             # A hit must carry the full metric set: an incomplete mapping
             # (hand-edited, or written by a build whose metric set changed
             # without a schema bump) is a miss to recompute, not a crash.
@@ -251,11 +309,11 @@ def explore_grid(
     pending = [idx for idx, m in enumerate(metrics) if m is None]
     n_jobs = min(resolve_jobs(jobs), len(pending))
 
-    def _persist_cell(slot, outcome):
+    def _persist_cell(slot, value):
         # Runs in the supervising process as each cell finalises, so a
         # kill at any instant leaves cache+journal describing exactly the
         # completed cells (crash-safe resume).
-        if not outcome.ok or store is None:
+        if store is None:
             return
         idx = pending[slot]
         store.put(
@@ -264,27 +322,45 @@ def explore_grid(
                 "schema": EXPLORE_CELL_SCHEMA,
                 "engine_version": ENGINE_VERSION,
                 "cell": cells[idx].name,
-                "metrics": outcome.value,
+                "metrics": value,
             },
         )
         maybe_corrupt_cache(store, keys[idx], slot)
         journal.record(keys[idx], cell=cells[idx].name)
 
-    outcomes = run_supervised(
-        _evaluate_cell,
-        [(cells[idx].spec.to_dict(), knee_threshold_factor) for idx in pending],
-        jobs=n_jobs,
-        policy=policy,
-        on_result=_persist_cell,
-    )
+    # Serial runs without fault-injection/resume machinery price every
+    # pending cell in ONE stacked evaluation (bit-identical, ~50x).  The
+    # supervised per-cell pool keeps ownership of ``--jobs`` fan-out and
+    # retry/NaN-row/resume semantics — nothing there changes shape.
     errors = []
-    for slot, outcome in enumerate(outcomes):
-        idx = pending[slot]
-        if outcome.ok:
-            metrics[idx] = outcome.value
-        else:
-            metrics[idx] = _error_metrics(cells[idx].spec)
-            errors.append({"cell": cells[idx].name, **outcome.error_record()})
+    stacked = False
+    stacked_values = None
+    if pending and jobs in (None, 1) and policy is None and not resume:
+        stacked_values = _stacked_metrics(
+            [cells[idx].spec for idx in pending], knee_threshold_factor
+        )
+    if stacked_values is not None:
+        stacked = True
+        for slot, idx in enumerate(pending):
+            metrics[idx] = stacked_values[slot]
+            _persist_cell(slot, stacked_values[slot])
+    else:
+        outcomes = run_supervised(
+            _evaluate_cell,
+            [(cells[idx].spec.to_dict(), knee_threshold_factor) for idx in pending],
+            jobs=n_jobs,
+            policy=policy,
+            on_result=lambda slot, outcome: (
+                _persist_cell(slot, outcome.value) if outcome.ok else None
+            ),
+        )
+        for slot, outcome in enumerate(outcomes):
+            idx = pending[slot]
+            if outcome.ok:
+                metrics[idx] = outcome.value
+            else:
+                metrics[idx] = _error_metrics(cells[idx].spec)
+                errors.append({"cell": cells[idx].name, **outcome.error_record()})
 
     columns: dict[str, list] = {"cell": [cell.name for cell in cells]}
     for axis in grid.axes:
@@ -302,6 +378,8 @@ def explore_grid(
         "knee_threshold_factor": knee_threshold_factor,
         "evaluated": len(pending),
         "cached": n_cached,
+        "cache_hits": n_cached,
+        "stacked": stacked,
         "resumed": n_resumed,
         "jobs": n_jobs,
         "cache_root": str(store.root) if store is not None else None,

@@ -144,6 +144,35 @@ class ResultCache:
         except (OSError, ValueError, KeyError):
             return None
 
+    def get_many(self, keys: "list[str]") -> list:
+        """Payloads for *keys* in order, ``None`` per miss — one listing pass.
+
+        Equivalent to ``[self.get(k) for k in keys]`` but lists each
+        touched fan-out directory once and answers membership from the
+        listing, so a large mostly-cold grid costs one ``scandir`` per
+        two-char prefix instead of one ``stat`` per key.  Corrupt or
+        unreadable entries count as misses exactly as in :meth:`get`.
+        """
+        paths = [self._path(key) for key in keys]
+        listed: dict[Path, "set[str]"] = {}
+        for path in paths:
+            parent = path.parent
+            if parent not in listed:
+                try:
+                    listed[parent] = set(os.listdir(parent))
+                except OSError:
+                    listed[parent] = set()
+        out = []
+        for path in paths:
+            if path.name not in listed[path.parent]:
+                out.append(None)
+                continue
+            try:
+                out.append(load_json(path))
+            except (OSError, ValueError, KeyError):
+                out.append(None)
+        return out
+
     def put(self, key: str, payload) -> Path:
         """Store *payload* under *key* atomically and durably.
 

@@ -31,9 +31,12 @@ asks for:
     independent of how likely the failure is, so zero-rate what-if modes
     rank too.
 
-Per-state evaluations are pure functions of the degraded spec, so they
-fan out through the supervised runtime (:func:`repro.exec.run_supervised`;
-bit-identical tables for any worker count) and memoise in a content-addressed
+Per-state evaluations are pure functions of the degraded spec, so serial
+runs price every distinct degraded system in one cross-cell stack
+(:class:`repro.core.stacked.StackedModel`) while ``jobs``/fault-policy
+runs fan out through the supervised runtime
+(:func:`repro.exec.run_supervised`; bit-identical tables either way and
+for any worker count), and memoise in a content-addressed
 :class:`~repro.io.cache.ResultCache` keyed by the degraded spec, the load
 grid and the engine version.  States that degrade to the *same* system
 (e.g. node-loss states, which only change capacity weighting) share one
@@ -49,6 +52,7 @@ import numpy as np
 from repro._util import require
 from repro.analysis.tables import render_table
 from repro.core.batch import ENGINE_VERSION, BatchedModel
+from repro.core.stacked import StackedModel
 from repro.exec import (
     ItemOutcome,
     RunJournal,
@@ -121,6 +125,36 @@ def _evaluate_state(payload: tuple) -> dict:
         "zero_load_latency": engine.zero_load_latency(),
         "latencies": [float(v) for v in latencies],
     }
+
+
+def _stacked_state_metrics(
+    specs: "list[ScenarioSpec]", loads: "list[float]"
+) -> "list[dict] | None":
+    """All pending degraded states priced in one stacked evaluation.
+
+    Returns per-state metric mappings bit-identical to
+    :func:`_evaluate_state` (the stacked engine's contract, locked by
+    ``tests/test_stacked.py``), or ``None`` if the stack cannot evaluate
+    this state set — the caller then falls back to the supervised
+    per-state path, which also owns retry/NaN-row semantics.
+    """
+    try:
+        stack = StackedModel.from_specs(specs)
+        latencies = stack.evaluate_latencies(np.asarray(loads, dtype=np.float64))
+        lam_star = stack.saturation_load()
+        binding = stack.binding_resources()
+        zero = stack.zero_load_latencies()
+    except Exception:
+        return None
+    return [
+        {
+            "saturation_load": float(lam_star[k]),
+            "binding_resource": binding[k],
+            "zero_load_latency": float(zero[k]),
+            "latencies": [float(v) for v in latencies[k]],
+        }
+        for k in range(len(specs))
+    ]
 
 
 def _weighted_curve(
@@ -263,8 +297,7 @@ def performability_analysis(
     n_resumed = 0
     resumed_keys: set[str] = set()
     if store is not None:
-        for idx, key in enumerate(keys):
-            entry = store.get(key)
+        for idx, (key, entry) in enumerate(zip(keys, store.get_many(keys))):
             # A hit must carry the full metric set with a curve matching
             # the load grid; anything less is a miss to recompute.
             if (
@@ -291,11 +324,11 @@ def performability_analysis(
     unique = list(pending)
     n_jobs = min(resolve_jobs(jobs), len(unique))
 
-    def _persist_state(slot: int, outcome: ItemOutcome) -> None:
+    def _persist_state(slot: int, value: dict) -> None:
         # Runs in the supervising process as each state finalises, so a
         # kill at any instant leaves cache+journal describing exactly the
         # completed states (crash-safe resume).
-        if not outcome.ok or store is None:
+        if store is None:
             return
         key = unique[slot]
         store.put(
@@ -304,35 +337,57 @@ def performability_analysis(
                 "schema": PERFORMABILITY_STATE_SCHEMA,
                 "engine_version": ENGINE_VERSION,
                 "state": states[pending[key][0]].label,
-                "metrics": outcome.value,
+                "metrics": value,
             },
         )
         maybe_corrupt_cache(store, key, slot)
         assert journal is not None
         journal.record(key, state=states[pending[key][0]].label)
 
-    outcomes = run_supervised(
-        _evaluate_state,
-        [(spec_dicts[pending[key][0]], tuple(loads)) for key in unique],
-        jobs=n_jobs,
-        policy=policy,
-        on_result=_persist_state,
-    )
-    errors: list[dict] = []
-    for slot, outcome in enumerate(outcomes):
-        key = unique[slot]
+    def _on_result(slot: int, outcome: ItemOutcome) -> None:
         if outcome.ok:
+            _persist_state(slot, outcome.value)
+
+    # Serial runs without fault-injection/resume machinery price every
+    # distinct pending degraded system in ONE stacked evaluation
+    # (bit-identical); the supervised pool keeps ``--jobs`` fan-out and
+    # retry/NaN-row/resume semantics.
+    errors: list[dict] = []
+    stacked = False
+    stacked_values = None
+    if unique and jobs in (None, 1) and policy is None and not resume:
+        stacked_values = _stacked_state_metrics(
+            [ScenarioSpec.from_dict(spec_dicts[pending[key][0]]) for key in unique],
+            loads,
+        )
+    if stacked_values is not None:
+        stacked = True
+        for slot, key in enumerate(unique):
             for idx in pending[key]:
-                metrics[idx] = outcome.value
-        else:
-            for idx in pending[key]:
-                metrics[idx] = _error_state_metrics(len(loads))
-            errors.append(
-                {
-                    "state": states[pending[key][0]].label,
-                    **outcome.error_record(),
-                }
-            )
+                metrics[idx] = stacked_values[slot]
+            _persist_state(slot, stacked_values[slot])
+    else:
+        outcomes = run_supervised(
+            _evaluate_state,
+            [(spec_dicts[pending[key][0]], tuple(loads)) for key in unique],
+            jobs=n_jobs,
+            policy=policy,
+            on_result=_on_result,
+        )
+        for slot, outcome in enumerate(outcomes):
+            key = unique[slot]
+            if outcome.ok:
+                for idx in pending[key]:
+                    metrics[idx] = outcome.value
+            else:
+                for idx in pending[key]:
+                    metrics[idx] = _error_state_metrics(len(loads))
+                errors.append(
+                    {
+                        "state": states[pending[key][0]].label,
+                        **outcome.error_record(),
+                    }
+                )
 
     n_total = spec.system.total_nodes
     lam_pristine = metrics[0]["saturation_load"]
@@ -378,6 +433,8 @@ def performability_analysis(
         "ranking": ranking,
         "evaluated": len(unique),
         "cached": n_cached,
+        "cache_hits": n_cached,
+        "stacked": stacked,
         "resumed": n_resumed,
         "jobs": n_jobs,
         "cache_root": str(store.root) if store is not None else None,

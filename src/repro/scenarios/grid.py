@@ -26,7 +26,6 @@ so a whole study is one JSON file (the CLI's ``explore --grid``).
 
 from __future__ import annotations
 
-import copy
 import itertools
 import json
 import math
@@ -58,6 +57,21 @@ def format_axis_value(value) -> str:
             return str(int(value))
         return repr(value)
     return str(value)
+
+
+def _copy_tree(node):
+    """Deep copy of a JSON-ready spec tree (dicts, lists, scalar leaves).
+
+    ``ScenarioSpec.to_dict`` trees contain only containers that
+    :func:`set_by_path` may mutate (dicts/lists) and immutable leaves, so
+    this beats :func:`copy.deepcopy` — whose generic memo machinery
+    dominated large-grid expansion — while copying exactly as deeply.
+    """
+    if isinstance(node, dict):
+        return {key: _copy_tree(value) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_copy_tree(value) for value in node]
+    return node
 
 
 def _index(segment: str, path: str, length: int) -> int:
@@ -214,7 +228,7 @@ class DesignGrid:
         out = []
         for index, values in enumerate(itertools.product(*(a.values for a in self.axes))):
             name = self.cell_name(values)
-            cell_dict = copy.deepcopy(base_dict)
+            cell_dict = _copy_tree(base_dict)
             for axis, value in zip(self.axes, values):
                 set_by_path(cell_dict, axis.path, value)
             cell_dict["name"] = name

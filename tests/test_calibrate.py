@@ -188,6 +188,10 @@ class TestParallelAndCache:
         parallel = calibrate_options(
             [tiny_spec()], axes=TINY_AXES, cache=sim_cache, jobs=2, **TINY_KW
         )
+        # Serial runs stack the whole model side in one cross-cell
+        # evaluation; --jobs falls back to the per-combination fan-out.
+        assert tiny_result.data["stacked"] is True
+        assert parallel.data["stacked"] is False
         for field in ("combinations", "columns", "ranking", "winner"):
             assert canonical(parallel.data[field]) == canonical(tiny_result.data[field])
 

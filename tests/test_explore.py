@@ -290,6 +290,57 @@ class TestExploreGrid:
             explore_grid(small_grid(base_544), knee_threshold_factor=1.0)
 
 
+class TestStackedFastPath:
+    """Serial explore prices pending cells in one StackedModel evaluation."""
+
+    def test_serial_run_uses_stack_and_reports_it(self, base_544):
+        result = explore_grid(small_grid(base_544))
+        assert result.data["stacked"] is True
+        assert result.data["cache_hits"] == 0
+        assert result.data["evaluated"] == 4
+
+    def test_jobs_and_policy_fall_back_to_per_cell(self, base_544):
+        from repro.exec import RunPolicy
+
+        grid = small_grid(base_544)
+        serial = explore_grid(grid)
+        pooled = explore_grid(grid, jobs=2)
+        with_policy = explore_grid(grid, policy=RunPolicy(max_retries=0))
+        assert serial.data["stacked"] is True
+        assert pooled.data["stacked"] is False
+        assert with_policy.data["stacked"] is False
+        # Fallback paths are byte-identical to the stacked one.
+        for other in (pooled, with_policy):
+            assert canonical(serial.data["columns"]) == canonical(other.data["columns"])
+            assert canonical(serial.data["cells"]) == canonical(other.data["cells"])
+
+    def test_replay_reports_cache_hits_and_does_no_work(self, base_544, tmp_path):
+        grid = small_grid(base_544)
+        first = explore_grid(grid, cache=tmp_path / "c")
+        assert first.data["stacked"] is True and first.data["evaluated"] == 4
+        second = explore_grid(grid, cache=tmp_path / "c")
+        assert second.data["evaluated"] == 0
+        assert second.data["cache_hits"] == second.data["cached"] == 4
+        assert second.data["stacked"] is False  # nothing left to stack
+        assert canonical(first.data["columns"]) == canonical(second.data["columns"])
+
+    def test_corrupt_entry_heals_through_stacked_path(self, base_544, tmp_path):
+        grid = small_grid(base_544)
+        cache = ResultCache(tmp_path / "c")
+        first = explore_grid(grid, cache=cache)
+        key = cell_cache_key(grid.cells()[1].spec, 4.0)
+        cache.put(key, {"x": 1}).write_text("{not json")
+        second = explore_grid(grid, cache=cache)
+        # get_many treats the corrupt entry as a miss; the stacked path
+        # re-evaluates exactly that cell and rewrites a valid entry.
+        assert second.data["evaluated"] == 1 and second.data["cache_hits"] == 3
+        assert second.data["stacked"] is True
+        assert canonical(first.data["columns"]) == canonical(second.data["columns"])
+        healed = cache.get(key)
+        assert healed is not None
+        assert canonical(healed["metrics"]) == canonical(first.data["cells"][1]["metrics"])
+
+
 class TestResultCache:
     def test_get_miss_returns_none(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
@@ -322,6 +373,26 @@ class TestResultCache:
         key = content_key({"x": 4})
         cache.put(key, {"ok": True}).write_bytes(b"\xff\xfe{}")
         assert cache.get(key) is None
+
+    def test_get_many_matches_get(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = [content_key({"x": i}) for i in range(5)]
+        for key in keys[:3]:
+            cache.put(key, {"k": key})
+        cache.put(keys[3], {"ok": True}).write_text("{not json")  # corrupt
+        # keys[4] is never written: a cold miss.
+        many = cache.get_many(keys)
+        assert many == [cache.get(key) for key in keys]
+        assert [entry is None for entry in many] == [False, False, False, True, True]
+
+    def test_get_many_on_cold_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get_many([]) == []
+        assert cache.get_many([content_key({"x": 1})]) == [None]
+
+    def test_get_many_rejects_non_hex_key(self, tmp_path):
+        with pytest.raises(ValueError, match="hex digest"):
+            ResultCache(tmp_path).get_many(["../../etc/passwd"])
 
     def test_rejects_non_hex_key(self, tmp_path):
         with pytest.raises(ValueError, match="hex digest"):

@@ -386,6 +386,10 @@ class TestPerformabilityAnalysis:
         serial = performability_analysis(base_544, acceptance_failures)
         fanned = performability_analysis(base_544, acceptance_failures, jobs=2)
         assert fanned.data["jobs"] == 2
+        # The serial run prices every distinct degraded system in one
+        # stacked evaluation; --jobs falls back to the supervised pool.
+        assert serial.data["stacked"] is True
+        assert fanned.data["stacked"] is False
         for key in ("columns", "curve", "ranking", "availability",
                     "saturation_load_weighted", "expected_capacity"):
             assert canonical(serial.data[key]) == canonical(fanned.data[key])
@@ -402,6 +406,7 @@ class TestPerformabilityAnalysis:
         )
         assert second.data["evaluated"] == 0
         assert second.data["cached"] == len(second.data["states"])
+        assert second.data["cache_hits"] == second.data["cached"]
         for key in ("columns", "curve", "ranking", "availability",
                     "saturation_load_weighted", "expected_capacity"):
             assert canonical(first.data[key]) == canonical(second.data[key])

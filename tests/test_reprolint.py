@@ -359,11 +359,11 @@ class TestFingerprints:
         write_manifest(root, manifest)
         batch = root / "src/repro/core/batch.py"
         batch.write_text(
-            batch.read_text().replace('ENGINE_VERSION = "batch/1"', 'ENGINE_VERSION = "batch/2"')
+            batch.read_text().replace('ENGINE_VERSION = "batch/2"', 'ENGINE_VERSION = "batch/3"')
         )
         diags = check_fingerprints(root, manifest)
         assert [d.code for d in diags] == ["RF003"]
-        assert "batch/2" in diags[0].message
+        assert "batch/3" in diags[0].message
 
     def test_bump_plus_regen_is_clean(self, tmp_path):
         root = copy_surface_tree(tmp_path)
@@ -372,7 +372,7 @@ class TestFingerprints:
         batch.write_text(
             batch.read_text()
             .replace("lambda_i2 = 0.5 * lambda_e1", "lambda_i2 = 0.51 * lambda_e1")
-            .replace('ENGINE_VERSION = "batch/1"', 'ENGINE_VERSION = "batch/2"')
+            .replace('ENGINE_VERSION = "batch/2"', 'ENGINE_VERSION = "batch/3"')
         )
         write_manifest(root, manifest)
         assert check_fingerprints(root, manifest) == []

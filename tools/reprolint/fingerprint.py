@@ -83,6 +83,7 @@ SURFACES: dict[str, Surface] = {
             "src/repro/core/model.py",
             "src/repro/core/queueing.py",
             "src/repro/core/service_times.py",
+            "src/repro/core/stacked.py",
             "src/repro/core/stages.py",
             "src/repro/core/topology_math.py",
         ),
