@@ -204,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--granularity", choices=["message", "flit"], default="message")
     p.add_argument(
+        "--engine",
+        choices=["reference", "array"],
+        default="reference",
+        help="message-level event engine (bit-identical trajectories; array is the compiled core)",
+    )
+    p.add_argument(
         "--replicas",
         type=int,
         default=None,
@@ -223,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["message", "flit"],
         default="message",
         help="simulator granularity (flit = the slow reference engine)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["reference", "array"],
+        default="reference",
+        help="message-level event engine (bit-identical trajectories; array is the compiled core)",
     )
     jobs_flag(p)
     out_flag(p)
@@ -628,6 +640,7 @@ def _cmd_simulate(args) -> str:
             granularity=args.granularity,
             replicas=args.replicas,
             jobs=args.jobs,
+            engine=args.engine,
         )
         .text
     )
@@ -646,6 +659,7 @@ def _cmd_validate(args) -> str:
         seed=args.seed,
         granularity=args.granularity,
         jobs=args.jobs,
+        engine=args.engine,
     )
     return result.text + _persist(result, args.out)
 

@@ -458,6 +458,7 @@ class Experiment:
         granularity: str = "message",
         replicas: "int | None" = None,
         jobs: "int | str | None" = None,
+        engine: str = "reference",
     ) -> ExperimentResult:
         """Discrete-event simulation at *load*.
 
@@ -465,13 +466,15 @@ class Experiment:
         spawned seeds and summarised with a confidence interval; ``jobs``
         fans the replicas across a process pool (results are bit-identical
         for any worker count).  Without *replicas*, one run at *seed*.
+        *engine* selects the message-level event engine (bit-identical
+        either way, see :mod:`repro.simulation.eventcore`).
         """
         from repro.simulation.metrics import MeasurementWindow
 
         if replicas is not None:
             return self._simulate_replicated(
                 load, messages=messages, seed=seed, granularity=granularity,
-                replicas=replicas, jobs=jobs,
+                replicas=replicas, jobs=jobs, engine=engine,
             )
         result = self.session().run(
             load,
@@ -479,6 +482,7 @@ class Experiment:
             window=MeasurementWindow.scaled_paper(messages),
             granularity=granularity,
             pattern=self.spec.pattern,
+            engine=engine,
         )
         util = ", ".join(f"{k}={v:.3f}" for k, v in sorted(result.network_utilization.items()))
         text = (
@@ -501,7 +505,7 @@ class Experiment:
         return self._result("simulate", data, text)
 
     def _simulate_replicated(
-        self, load, *, messages, seed, granularity, replicas, jobs
+        self, load, *, messages, seed, granularity, replicas, jobs, engine="reference"
     ) -> ExperimentResult:
         from repro.simulation.metrics import MeasurementWindow
         from repro.simulation.replication import replicate
@@ -515,6 +519,7 @@ class Experiment:
             jobs=jobs,
             granularity=granularity,
             pattern=self.spec.pattern,
+            engine=engine,
         )
         text = (
             f"simulated mean latency: {rep.mean_latency:.3f} "
@@ -547,11 +552,13 @@ class Experiment:
         seed: int = 0,
         granularity: str = "message",
         jobs: "int | str | None" = None,
+        engine: str = "reference",
     ) -> ExperimentResult:
         """Model-vs-simulation comparison across the spec's load grid.
 
         ``jobs`` fans the per-point simulations across a process pool;
-        the curve is bit-identical for any worker count.
+        the curve is bit-identical for any worker count — as it is for
+        either message-level event *engine* (``"reference"``/``"array"``).
         """
         from repro.io.reporting import format_validation_curve
         from repro.simulation.metrics import MeasurementWindow
@@ -578,6 +585,7 @@ class Experiment:
             session=self.session(),
             pattern=s.pattern,
             jobs=n_jobs,
+            engine=engine,
         )
         elapsed = _time.perf_counter() - start
         events_per_second = curve.sim_events / elapsed if elapsed > 0 else float("nan")

@@ -1,11 +1,20 @@
 """Discrete-event wormhole simulators used to validate the analytical model."""
 
+from repro.simulation.eventcore import (
+    ArrayHeap,
+    Trajectory,
+    build_trajectory,
+    canonical_trajectory,
+    kernel_available,
+    trajectory_digest,
+)
 from repro.simulation.fabric import GROUPS, ResolvedFabric, ResolvedSegment
 from repro.simulation.metrics import LatencyCollector, LatencyStats, MeasurementWindow
 from repro.simulation.parallel import SimWorkItem, resolve_jobs, run_work_item, run_work_items
 from repro.simulation.replication import ReplicatedResult, replicate
 from repro.simulation.rng import ReplayableDraws, SimulationStreams, make_streams, replica_seeds
 from repro.simulation.runner import (
+    ENGINES,
     TRAJECTORY_VERSION,
     SimulationConfig,
     SimulationResult,
@@ -16,6 +25,13 @@ from repro.simulation.traffic import PoissonArrivals, SimTrafficPattern, Uniform
 from repro.simulation.wormhole import MessageLevelWormholeSimulator, RawRunResult
 
 __all__ = [
+    "ArrayHeap",
+    "Trajectory",
+    "build_trajectory",
+    "canonical_trajectory",
+    "kernel_available",
+    "trajectory_digest",
+    "ENGINES",
     "ResolvedFabric",
     "ResolvedSegment",
     "GROUPS",

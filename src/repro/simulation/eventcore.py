@@ -1,0 +1,760 @@
+"""Array-based event core for the message-level wormhole simulator.
+
+The reference engine (:mod:`repro.simulation.wormhole`) is a locals-bound
+CPython loop; this module is the ``engine="array"`` alternative that runs
+the *same* event loop over flat arrays:
+
+* the event heap is three parallel columns ``(time, tie-break tag,
+  payload)`` — :class:`ArrayHeap` is the structured-ndarray executable
+  specification of its ordering (property-tested against :mod:`heapq`),
+  and the compiled kernel sifts the identical layout;
+* the stochastic streams are consumed as batched slices: the arrival race
+  is pre-resolved into a *generation schedule* (which node generates
+  message ``s``, and when) by :func:`generation_schedule` /
+  ``eventcore_prepass``, and uniform destinations are adjusted in one
+  vectorized expression;
+* the per-segment release arithmetic of ``fabric.hot_resolver`` is folded
+  into flat segment tables (channel ids, ``M·τ_k`` holds, drains and
+  release offsets as contiguous arrays) shared across runs of a session.
+
+The hot loop itself lives in ``_eventcore.c``, compiled on demand with
+the system C compiler and loaded through :mod:`ctypes` — no third-party
+dependency, no CPython API.  When no compiler is available (or
+``REPRO_SIM_KERNEL=0``), ``engine="array"`` falls back to the reference
+loop, so results never depend on the toolchain.
+
+Bit-identical-trajectory contract
+---------------------------------
+For any (spec, seed, window) the array engine reproduces the reference
+engine's trajectory exactly — event order, per-message grant times, float
+accumulation order of busy/wait sums, latency records — not just
+statistically.  ``tests/test_eventcore.py`` enforces this differentially
+across registry scenarios × seeds, and the golden-trajectory corpus
+(``tests/goldens/trajectories.json``) pins digests of
+:func:`trajectory_digest` so either engine drifting fails CI by name.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import heapq
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time as _time
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import require
+from repro.simulation.fabric import GROUPS
+
+__all__ = [
+    "ArrayHeap",
+    "HEAP_DTYPE",
+    "Trajectory",
+    "array_run",
+    "build_trajectory",
+    "canonical_trajectory",
+    "generation_schedule",
+    "kernel_available",
+    "kernel_prepass",
+    "trajectory_digest",
+]
+
+#: Column layout shared by :class:`ArrayHeap` and the compiled kernel:
+#: event time, monotone tie-break tag (kind in the low two bits), and the
+#: payload index (message sequence number or channel id).
+HEAP_DTYPE = np.dtype([("time", np.float64), ("tag", np.int64), ("payload", np.int32)])
+
+
+class ArrayHeap:
+    """Binary min-heap over a structured ndarray, ordered by ``(time, tag)``.
+
+    This is the executable specification of the event heap: the compiled
+    kernel's ``hpush``/``hpop`` sift the same three columns with the same
+    strict ``(time, tag)`` comparison, and the property suite pins this
+    class against a :mod:`heapq` oracle (total order under ties, monotone
+    pop times, push/pop stream equivalence).  Payloads never participate
+    in ordering — tags are unique by construction in the simulators.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._data = np.zeros(max(int(capacity), 1), dtype=HEAP_DTYPE)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def columns(self) -> np.ndarray:
+        """The live heap entries as a structured-array view."""
+        return self._data[: self._n]
+
+    @staticmethod
+    def kind(tag: int) -> int:
+        """The event kind packed into a tag's low two bits."""
+        return int(tag) & 3
+
+    def _less(self, i: int, j: int) -> bool:
+        d = self._data
+        if d["time"][i] != d["time"][j]:
+            return bool(d["time"][i] < d["time"][j])
+        return bool(d["tag"][i] < d["tag"][j])
+
+    def push(self, time: float, tag: int, payload: int = 0) -> None:
+        if self._n >= self._data.size:
+            grown = np.zeros(self._data.size * 2, dtype=HEAP_DTYPE)
+            grown[: self._n] = self._data[: self._n]
+            self._data = grown
+        d = self._data
+        i = self._n
+        self._n += 1
+        d[i] = (time, tag, payload)
+        while i > 0:
+            parent = (i - 1) >> 1
+            if not self._less(i, parent):
+                break
+            d[[i, parent]] = d[[parent, i]]
+            i = parent
+
+    def peek(self) -> tuple[float, int, int]:
+        require(self._n > 0, "peek on an empty ArrayHeap")
+        entry = self._data[0]
+        return float(entry["time"]), int(entry["tag"]), int(entry["payload"])
+
+    def _sift_down(self) -> None:
+        d = self._data
+        n = self._n
+        i = 0
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and self._less(right, child):
+                child = right
+            if not self._less(child, i):
+                break
+            d[[i, child]] = d[[child, i]]
+            i = child
+
+    def pop(self) -> tuple[float, int, int]:
+        require(self._n > 0, "pop on an empty ArrayHeap")
+        root = self.peek()
+        self._n -= 1
+        if self._n:
+            self._data[0] = self._data[self._n]
+            self._sift_down()
+        return root
+
+    def replace(self, time: float, tag: int, payload: int = 0) -> tuple[float, int, int]:
+        """Pop the root and push a new entry in one sift (``heapreplace``)."""
+        root = self.peek()
+        self._data[0] = (time, tag, payload)
+        self._sift_down()
+        return root
+
+
+# ---------------------------------------------------------------------------
+# generation schedule (the arrival-race pre-pass)
+# ---------------------------------------------------------------------------
+
+
+def generation_schedule(
+    gaps: np.ndarray, n_nodes: int, total: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve the per-node Poisson arrival race into a flat schedule.
+
+    Which node generates message ``s`` (and when) depends only on the
+    arrival gaps, never on network state, so the reference engine's
+    arrival heap can be raced ahead of time.  Mirrors the reference
+    exactly: node ``i``'s first arrival is ``gaps[i]`` with a tie-break
+    tag monotone in node order, generation ``s`` reschedules its node at
+    ``t + gaps[n_nodes + s]`` with the next monotone tag.  Returns
+    ``(g_time, g_node, dead_time, dead_node)`` — the ``n_nodes`` arrivals
+    left pending after the budget ("dead": popped as events but
+    generating nothing) drain in pop order, all at or after the last
+    generation.  This is the pure-Python specification of the kernel's
+    ``eventcore_prepass``; both are differentially tested.
+    """
+    gaps = np.asarray(gaps, dtype=np.float64)
+    require(gaps.size >= n_nodes + total, "gaps must cover n_nodes + total draws")
+    heap = [(float(gaps[i]), i, i) for i in range(n_nodes)]
+    heapq.heapify(heap)
+    g_time = np.empty(total, dtype=np.float64)
+    g_node = np.empty(total, dtype=np.int32)
+    next_tag = n_nodes
+    for s in range(total):
+        t, _, node = heap[0]
+        g_time[s] = t
+        g_node[s] = node
+        heapq.heapreplace(heap, (t + float(gaps[n_nodes + s]), next_tag, node))
+        next_tag += 1
+    dead_time = np.empty(n_nodes, dtype=np.float64)
+    dead_node = np.empty(n_nodes, dtype=np.int32)
+    for i in range(n_nodes):
+        t, _, node = heapq.heappop(heap)
+        dead_time[i] = t
+        dead_node[i] = node
+    return g_time, g_node, dead_time, dead_node
+
+
+# ---------------------------------------------------------------------------
+# compiled kernel: build, load, call
+# ---------------------------------------------------------------------------
+
+_C_SOURCE = Path(__file__).with_name("_eventcore.c")
+_KERNEL_ABI = 1
+#: Contraction must stay off: fusing a*b+c into FMA would change results
+#: relative to CPython's one-operation-at-a-time float semantics.
+_KERNEL_FLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-unsafe-math-optimizations")
+
+_KERNEL_UNSET = object()
+_KERNEL: object = _KERNEL_UNSET
+
+
+class _StateStruct(ctypes.Structure):
+    """ctypes mirror of ``EventCoreState`` — field order must match the C struct."""
+
+    _fields_ = [
+        (name, ctypes.c_int64)
+        for name in (
+            "n_channels", "n_nodes", "total", "n_dead", "warmup", "measured_end",
+            "measured_target", "max_events", "cd_paper", "grants_stride",
+            "heap_cap", "trace_cap", "eseq0",
+        )
+    ] + [
+        (name, ctypes.c_void_p)
+        for name in (
+            "flit_time", "uncontended", "group", "cluster_index",
+            "g_time", "g_node", "dead_time", "dead_node",
+            "m_path", "p_off", "p_segs", "s_cid_off", "s_cids", "s_hold",
+            "s_drain", "s_rel_off", "r_kk", "r_cid", "r_hold", "r_off",
+            "heap_time", "heap_tag", "heap_payload", "node_tag",
+            "m_seg", "m_k", "m_gc", "m_qnext", "m_reqt", "grants",
+            "occupancy", "last_grant", "q_head", "q_tail", "busy",
+            "lat", "inter", "src_cluster",
+            "trace_time", "trace_kind", "trace_id",
+            "out_i", "out_f", "out_w",
+        )
+    ]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_EVENTCORE_CACHE")
+    if override:
+        return Path(override)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-eventcore-{uid}"
+
+
+def _build_kernel() -> "ctypes.CDLL | None":
+    """Compile (once, cached by source digest) and load the kernel."""
+    if os.environ.get("REPRO_SIM_KERNEL", "").lower() in ("0", "off", "reference"):
+        return None
+    try:
+        source = _C_SOURCE.read_bytes()
+    except OSError:
+        return None
+    tag = hashlib.sha256(
+        source + " ".join(_KERNEL_FLAGS).encode() + sys.platform.encode()
+    ).hexdigest()[:16]
+    so_path = _cache_dir() / f"_eventcore-{tag}.so"
+    if not so_path.exists():
+        cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+        if cc is None:
+            return None
+        try:
+            so_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = so_path.with_suffix(f".{os.getpid()}.tmp")
+            subprocess.run(
+                [cc, *_KERNEL_FLAGS, str(_C_SOURCE), "-o", str(tmp)],
+                check=True, capture_output=True, timeout=120,
+            )
+            os.replace(tmp, so_path)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    lib.eventcore_abi.restype = ctypes.c_int64
+    lib.eventcore_abi.argtypes = []
+    if lib.eventcore_abi() != _KERNEL_ABI:
+        return None
+    lib.eventcore_run.restype = ctypes.c_int64
+    lib.eventcore_run.argtypes = [ctypes.POINTER(_StateStruct)]
+    lib.eventcore_prepass.restype = ctypes.c_int64
+    lib.eventcore_prepass.argtypes = [ctypes.c_int64, ctypes.c_int64] + [ctypes.c_void_p] * 8
+    return lib
+
+
+def _kernel() -> "ctypes.CDLL | None":
+    global _KERNEL
+    if _KERNEL is _KERNEL_UNSET:
+        _KERNEL = _build_kernel()
+    return _KERNEL  # type: ignore[return-value]
+
+
+def kernel_available() -> bool:
+    """True if the compiled event kernel built (or was cached) and loaded."""
+    return _kernel() is not None
+
+
+def kernel_prepass(
+    gaps: np.ndarray, n_nodes: int, total: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The compiled counterpart of :func:`generation_schedule`."""
+    lib = _kernel()
+    require(lib is not None, "compiled event kernel unavailable")
+    gaps = np.ascontiguousarray(gaps, dtype=np.float64)
+    require(gaps.size >= n_nodes + total, "gaps must cover n_nodes + total draws")
+    g_time = np.empty(total, dtype=np.float64)
+    g_node = np.empty(total, dtype=np.int32)
+    dead_time = np.empty(n_nodes, dtype=np.float64)
+    dead_node = np.empty(n_nodes, dtype=np.int32)
+    ht = np.empty(n_nodes, dtype=np.float64)
+    hg = np.empty(n_nodes, dtype=np.int64)
+    hp = np.empty(n_nodes, dtype=np.int32)
+    rc = lib.eventcore_prepass(
+        n_nodes, total,
+        gaps.ctypes.data, ht.ctypes.data, hg.ctypes.data, hp.ctypes.data,
+        g_time.ctypes.data, g_node.ctypes.data,
+        dead_time.ctypes.data, dead_node.ctypes.data,
+    )
+    require(rc == 0, f"eventcore_prepass failed with status {rc}")
+    return g_time, g_node, dead_time, dead_node
+
+
+# ---------------------------------------------------------------------------
+# flattened path/segment tables (cached per fabric × run config)
+# ---------------------------------------------------------------------------
+
+#: fabric -> {(ideal_sinks, cd_mode) -> _EventCoreContext}.  Weak on the
+#: fabric so a discarded session releases its tables.
+_CONTEXTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: Above this node count the dense (src, dst) -> path-id matrix would be
+#: too large; fall back to a dict lookup per message.
+_PID_MATRIX_MAX_NODES = 2048
+
+
+class _EventCoreContext:
+    """Flattened fabric tables for one (ideal_sinks, cd_mode) config.
+
+    Segment records from ``fabric.hot_resolver`` are appended once into
+    growing flat tables (deduplicated — segments are shared across paths
+    exactly as the resolver shares them) and snapshotted into contiguous
+    ndarrays on demand; a session reuses the tables across load points
+    and seeds.
+    """
+
+    def __init__(self, fabric, ideal_sinks: bool, cd_mode: str) -> None:
+        self.resolver = fabric.hot_resolver(ideal_sinks=ideal_sinks, cd_mode=cd_mode)
+        self.flit_time = np.ascontiguousarray(fabric.flit_time, dtype=np.float64)
+        self.uncontended = np.asarray(
+            fabric.uncontended_flags(ideal_sinks=ideal_sinks, cd_mode=cd_mode),
+            dtype=np.int8,
+        )
+        self.group = np.ascontiguousarray(fabric.group, dtype=np.int8)
+        self.cluster_index = np.asarray(fabric.cluster_index, dtype=np.int32)
+        self.n_channels = fabric.num_channels
+        n = fabric.system.total_nodes
+        self._pid_matrix = (
+            np.full((n, n), -1, dtype=np.int32) if n <= _PID_MATRIX_MAX_NODES else None
+        )
+        self._pid_map: dict = {}
+        self._path_ids: dict = {}
+        self._seg_ids: dict = {}
+        self._seg_len: list[int] = []
+        self._p_off: list[int] = [0]
+        self._p_segs: list[int] = []
+        self._s_cid_off: list[int] = [0]
+        self._s_cids: list[int] = []
+        self._s_hold: list[float] = []
+        self._s_drain: list[float] = []
+        self._s_rel_off: list[int] = [0]
+        self._r_kk: list[int] = []
+        self._r_cid: list[int] = []
+        self._r_hold: list[float] = []
+        self._r_off: list[float] = []
+        self.gstride = 1
+        self.max_hops = 1
+        self._dirty = True
+        self._arrays: "dict[str, np.ndarray] | None" = None
+
+    def _add_segment(self, spec) -> int:
+        cids, hold, _tau, drain, last, rel_items = spec
+        sid = len(self._s_drain)
+        self._s_cids.extend(cids)
+        self._s_hold.extend(hold)
+        self._s_cid_off.append(len(self._s_cids))
+        self._s_drain.append(drain)
+        for kk, cid, hold_kk, off in rel_items:
+            self._r_kk.append(kk)
+            self._r_cid.append(cid)
+            self._r_hold.append(hold_kk)
+            self._r_off.append(off)
+        self._s_rel_off.append(len(self._r_kk))
+        self._seg_len.append(last + 1)
+        self.gstride = max(self.gstride, last + 1)
+        self._seg_ids[spec] = sid
+        return sid
+
+    def _pid_for(self, source: int, destination: int) -> int:
+        pair = (source, destination)
+        pid = self._pid_map.get(pair)
+        if pid is not None:
+            return pid
+        seg_ids = []
+        for spec in self.resolver(source, destination):
+            sid = self._seg_ids.get(spec)
+            if sid is None:
+                sid = self._add_segment(spec)
+                self._dirty = True
+            seg_ids.append(sid)
+        key = tuple(seg_ids)
+        pid = self._path_ids.get(key)
+        if pid is None:
+            pid = len(self._p_off) - 1
+            self._p_segs.extend(key)
+            self._p_off.append(len(self._p_segs))
+            self._path_ids[key] = pid
+            self.max_hops = max(self.max_hops, sum(self._seg_len[s] for s in key))
+            self._dirty = True
+        self._pid_map[pair] = pid
+        return pid
+
+    def paths_for(self, g_node: np.ndarray, g_dest: np.ndarray) -> np.ndarray:
+        """Path id per message, vectorized through the dense pair matrix."""
+        if self._pid_matrix is not None:
+            pids = self._pid_matrix[g_node, g_dest]
+            missing = np.flatnonzero(pids < 0)
+            if missing.size:
+                matrix = self._pid_matrix
+                for i in missing:
+                    s, d = int(g_node[i]), int(g_dest[i])
+                    pid = matrix[s, d]
+                    if pid < 0:
+                        pid = self._pid_for(s, d)
+                        matrix[s, d] = pid
+                    pids[i] = pid
+            return np.ascontiguousarray(pids, dtype=np.int32)
+        pid_for = self._pid_for
+        return np.fromiter(
+            (pid_for(int(s), int(d)) for s, d in zip(g_node, g_dest)),
+            dtype=np.int32,
+            count=len(g_node),
+        )
+
+    def arrays(self) -> dict:
+        """Contiguous snapshots of the flat tables (rebuilt when they grew)."""
+        if self._dirty or self._arrays is None:
+            self._arrays = {
+                "p_off": np.asarray(self._p_off, dtype=np.int32),
+                "p_segs": np.asarray(self._p_segs, dtype=np.int32),
+                "s_cid_off": np.asarray(self._s_cid_off, dtype=np.int32),
+                "s_cids": np.asarray(self._s_cids, dtype=np.int32),
+                "s_hold": np.asarray(self._s_hold, dtype=np.float64),
+                "s_drain": np.asarray(self._s_drain, dtype=np.float64),
+                "s_rel_off": np.asarray(self._s_rel_off, dtype=np.int32),
+                "r_kk": np.asarray(self._r_kk, dtype=np.int32),
+                "r_cid": np.asarray(self._r_cid, dtype=np.int32),
+                "r_hold": np.asarray(self._r_hold, dtype=np.float64),
+                "r_off": np.asarray(self._r_off, dtype=np.float64),
+            }
+            self._dirty = False
+        return self._arrays
+
+
+def _context_for(sim) -> _EventCoreContext:
+    per_fabric = _CONTEXTS.get(sim.fabric)
+    if per_fabric is None:
+        per_fabric = {}
+        _CONTEXTS[sim.fabric] = per_fabric
+    key = (bool(sim.ideal_sinks), sim.cd_mode)
+    ctx = per_fabric.get(key)
+    if ctx is None:
+        ctx = _EventCoreContext(sim.fabric, *key)
+        per_fabric[key] = ctx
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# the array-engine run
+# ---------------------------------------------------------------------------
+
+
+def array_run(sim, *, max_events: int = 500_000_000, trace: "list | None" = None):
+    """Run *sim* (a :class:`MessageLevelWormholeSimulator`) on the kernel.
+
+    Returns the same :class:`~repro.simulation.wormhole.RawRunResult` the
+    reference loop would, fills ``sim.collector`` and the post-run
+    attributes identically, and (when *trace* is given) appends the same
+    ``(time, kind, id)`` event stream the reference loop traces.
+    """
+    lib = _kernel()
+    require(lib is not None, "compiled event kernel unavailable; use engine='reference'")
+    wall_start = _time.perf_counter()
+
+    window = sim.window
+    total = window.total
+    system = sim.fabric.system
+    n_nodes = system.total_nodes
+    ctx = _context_for(sim)
+
+    gaps = sim._arrival_gaps_array
+    g_time, g_node, dead_time, dead_node = kernel_prepass(gaps, n_nodes, total)
+
+    if sim._dest_draws_array is not None:
+        draws = sim._dest_draws_array
+        # draw >= node maps [0, N-1) onto [0, N) minus the source — the
+        # same adjustment the reference applies per generation.
+        g_dest = draws + (draws >= g_node)
+    else:
+        sample = sim.pattern.sample_destination
+        dest_rng = sim.streams.destinations
+        g_dest = np.fromiter(
+            (sample(dest_rng, system, int(node)) for node in g_node),
+            dtype=np.int64,
+            count=total,
+        )
+    m_path = ctx.paths_for(g_node, g_dest)
+    tables = ctx.arrays()
+
+    measured_target = window.measured
+    heap_cap = total + ctx.n_channels + 8
+    trace_cap = 0
+    if trace is not None:
+        bound = total * (2 * ctx.max_hops + 4) + 2 * n_nodes + 16
+        trace_cap = min(bound, max_events + 4)
+
+    heap_time = np.empty(heap_cap, dtype=np.float64)
+    heap_tag = np.empty(heap_cap, dtype=np.int64)
+    heap_payload = np.empty(heap_cap, dtype=np.int32)
+    node_tag = (np.arange(n_nodes, dtype=np.int64) + 1) * 4
+    m_seg = np.zeros(total, dtype=np.int32)
+    m_k = np.zeros(total, dtype=np.int32)
+    m_gc = np.zeros(total, dtype=np.int32)
+    m_qnext = np.empty(total, dtype=np.int32)
+    m_reqt = np.zeros(total, dtype=np.float64)
+    grants = np.zeros(total * ctx.gstride, dtype=np.float64)
+    occupancy = np.zeros(ctx.n_channels, dtype=np.int32)
+    last_grant = np.zeros(ctx.n_channels, dtype=np.float64)
+    q_head = np.full(ctx.n_channels, -1, dtype=np.int32)
+    q_tail = np.full(ctx.n_channels, -1, dtype=np.int32)
+    busy = np.zeros(len(GROUPS), dtype=np.float64)
+    lat = np.empty(measured_target, dtype=np.float64)
+    inter = np.empty(measured_target, dtype=np.int8)
+    src_cluster = np.empty(measured_target, dtype=np.int32)
+    trace_time = np.empty(trace_cap, dtype=np.float64)
+    trace_kind = np.empty(trace_cap, dtype=np.int8)
+    trace_id = np.empty(trace_cap, dtype=np.int32)
+    out_i = np.zeros(8, dtype=np.int64)
+    out_f = np.zeros(4, dtype=np.float64)
+    out_w = np.zeros(2, dtype=np.int64)
+
+    state = _StateStruct(
+        n_channels=ctx.n_channels,
+        n_nodes=n_nodes,
+        total=total,
+        n_dead=n_nodes,
+        warmup=window.warmup,
+        measured_end=window.warmup + window.measured,
+        measured_target=measured_target,
+        max_events=max_events,
+        cd_paper=int(sim.cd_mode == "paper"),
+        grants_stride=ctx.gstride,
+        heap_cap=heap_cap,
+        trace_cap=trace_cap,
+        eseq0=4 * n_nodes,
+        flit_time=ctx.flit_time.ctypes.data,
+        uncontended=ctx.uncontended.ctypes.data,
+        group=ctx.group.ctypes.data,
+        cluster_index=ctx.cluster_index.ctypes.data,
+        g_time=g_time.ctypes.data,
+        g_node=g_node.ctypes.data,
+        dead_time=dead_time.ctypes.data,
+        dead_node=dead_node.ctypes.data,
+        m_path=m_path.ctypes.data,
+        p_off=tables["p_off"].ctypes.data,
+        p_segs=tables["p_segs"].ctypes.data,
+        s_cid_off=tables["s_cid_off"].ctypes.data,
+        s_cids=tables["s_cids"].ctypes.data,
+        s_hold=tables["s_hold"].ctypes.data,
+        s_drain=tables["s_drain"].ctypes.data,
+        s_rel_off=tables["s_rel_off"].ctypes.data,
+        r_kk=tables["r_kk"].ctypes.data,
+        r_cid=tables["r_cid"].ctypes.data,
+        r_hold=tables["r_hold"].ctypes.data,
+        r_off=tables["r_off"].ctypes.data,
+        heap_time=heap_time.ctypes.data,
+        heap_tag=heap_tag.ctypes.data,
+        heap_payload=heap_payload.ctypes.data,
+        node_tag=node_tag.ctypes.data,
+        m_seg=m_seg.ctypes.data,
+        m_k=m_k.ctypes.data,
+        m_gc=m_gc.ctypes.data,
+        m_qnext=m_qnext.ctypes.data,
+        m_reqt=m_reqt.ctypes.data,
+        grants=grants.ctypes.data,
+        occupancy=occupancy.ctypes.data,
+        last_grant=last_grant.ctypes.data,
+        q_head=q_head.ctypes.data,
+        q_tail=q_tail.ctypes.data,
+        busy=busy.ctypes.data,
+        lat=lat.ctypes.data,
+        inter=inter.ctypes.data,
+        src_cluster=src_cluster.ctypes.data,
+        trace_time=trace_time.ctypes.data,
+        trace_kind=trace_kind.ctypes.data,
+        trace_id=trace_id.ctypes.data,
+        out_i=out_i.ctypes.data,
+        out_f=out_f.ctypes.data,
+        out_w=out_w.ctypes.data,
+    )
+    rc = lib.eventcore_run(ctypes.byref(state))
+    require(rc == 0, f"eventcore_run failed with status {rc}")
+
+    events = int(out_i[0])
+    generated = int(out_i[1])
+    delivered = int(out_i[2])
+    completed = bool(out_i[3])
+    now = float(out_f[0])
+    source_wait_sum = float(out_f[1])
+    cd_wait_sum = float(out_f[2])
+    source_wait_n = int(out_w[0])
+    cd_wait_n = int(out_w[1])
+
+    if trace is not None:
+        tlen = int(out_i[4])
+        trace.extend(
+            zip(
+                trace_time[:tlen].tolist(),
+                trace_kind[:tlen].tolist(),
+                trace_id[:tlen].tolist(),
+            )
+        )
+
+    collector = sim.collector
+    collector._latencies = lat[:delivered].tolist()
+    collector._is_inter = inter[:delivered].astype(bool).tolist()
+    collector._src_clusters = src_cluster[:delivered].tolist()
+    collector.delivered_measured = delivered
+    sim._events = events
+    sim._generated = generated
+    sim._now = now
+    sim._source_wait_sum = source_wait_sum
+    sim._source_wait_n = source_wait_n
+    sim._cd_wait_sum = cd_wait_sum
+    sim._cd_wait_n = cd_wait_n
+
+    from repro.simulation.wormhole import RawRunResult
+
+    wall = _time.perf_counter() - wall_start
+    stats = collector.stats()
+    busy_by_group = {name: float(busy[i]) for i, name in enumerate(GROUPS)}
+    return RawRunResult(
+        stats=stats,
+        per_cluster_means=collector.per_cluster_means(),
+        duration=now,
+        events=events,
+        completed=completed,
+        generated=generated,
+        source_wait_mean=source_wait_sum / source_wait_n if source_wait_n else float("nan"),
+        concentrator_wait_mean=cd_wait_sum / cd_wait_n if cd_wait_n else float("nan"),
+        busy_time_by_group=busy_by_group,
+        wall_seconds=wall,
+    )
+
+
+# ---------------------------------------------------------------------------
+# trajectories: the shared engine-comparison surface
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class Trajectory:
+    """The engine-invariant outcome of one simulator run.
+
+    Everything here must be bit-identical between the reference and array
+    engines (and across the kernel/fallback paths) for a fixed (spec,
+    seed, window, granularity); the golden corpus pins
+    :func:`trajectory_digest` of these fields.  Wall-clock time is
+    deliberately excluded.
+
+    Equality compares the canonical (hex-float) form, so two trajectories
+    are ``==`` exactly when their digests match — including NaN wait
+    means from runs truncated before any measured delivery, which plain
+    field equality would spuriously report as different.
+    """
+
+    version: str
+    events: int
+    generated: int
+    duration: float
+    completed: bool
+    latencies: tuple
+    inter_cluster: tuple
+    source_clusters: tuple
+    busy_time_by_group: tuple
+    source_wait_mean: float
+    concentrator_wait_mean: float
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return canonical_trajectory(self) == canonical_trajectory(other)
+
+
+def build_trajectory(collector, raw) -> Trajectory:
+    """The :class:`Trajectory` of a finished run (collector + raw result)."""
+    from repro.simulation.runner import TRAJECTORY_VERSION
+
+    return Trajectory(
+        version=TRAJECTORY_VERSION,
+        events=raw.events,
+        generated=raw.generated,
+        duration=raw.duration,
+        completed=raw.completed,
+        latencies=tuple(collector._latencies),
+        inter_cluster=tuple(bool(b) for b in collector._is_inter),
+        source_clusters=tuple(int(c) for c in collector._src_clusters),
+        busy_time_by_group=tuple(raw.busy_time_by_group.items()),
+        source_wait_mean=raw.source_wait_mean,
+        concentrator_wait_mean=raw.concentrator_wait_mean,
+    )
+
+
+def canonical_trajectory(trajectory: Trajectory) -> dict:
+    """A JSON-stable dict with every float hex-encoded (bit-exact)."""
+
+    def fx(value: float) -> str:
+        return float(value).hex()
+
+    return {
+        "version": trajectory.version,
+        "events": int(trajectory.events),
+        "generated": int(trajectory.generated),
+        "completed": bool(trajectory.completed),
+        "duration": fx(trajectory.duration),
+        "latencies": [fx(v) for v in trajectory.latencies],
+        "inter_cluster": [int(b) for b in trajectory.inter_cluster],
+        "source_clusters": [int(c) for c in trajectory.source_clusters],
+        "busy_time_by_group": {g: fx(v) for g, v in trajectory.busy_time_by_group},
+        "source_wait_mean": fx(trajectory.source_wait_mean),
+        "concentrator_wait_mean": fx(trajectory.concentrator_wait_mean),
+    }
+
+
+def trajectory_digest(trajectory: Trajectory) -> str:
+    """sha256 of the canonical trajectory — the golden-corpus currency."""
+    payload = json.dumps(canonical_trajectory(trajectory), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

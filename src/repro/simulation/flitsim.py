@@ -140,6 +140,7 @@ class FlitLevelSimulator:
         self._source_wait_n = 0
         self._cd_wait_sum = 0.0
         self._cd_wait_n = 0
+        self._last_result: RawRunResult | None = None
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -170,7 +171,7 @@ class FlitLevelSimulator:
                 break
         wall = _time.perf_counter() - wall_start
         busy = {name: self._busy[i] for i, name in enumerate(GROUPS)}
-        return RawRunResult(
+        result = RawRunResult(
             stats=self.collector.stats(),
             per_cluster_means=self.collector.per_cluster_means(),
             duration=self._now,
@@ -182,6 +183,16 @@ class FlitLevelSimulator:
             busy_time_by_group=busy,
             wall_seconds=wall,
         )
+        self._last_result = result
+        return result
+
+    def trajectory(self):
+        """The :class:`~repro.simulation.eventcore.Trajectory` of the last
+        completed :meth:`run` (same surface as the message-level engines)."""
+        require(self._last_result is not None, "run() must complete before trajectory()")
+        from repro.simulation.eventcore import build_trajectory
+
+        return build_trajectory(self.collector, self._last_result)
 
     # -- generation --------------------------------------------------------------------
 

@@ -57,6 +57,7 @@ class SimWorkItem:
     cd_mode: str = "paper"
     pattern: SimTrafficPattern | None = None
     max_events: int = 500_000_000
+    engine: str = "reference"
 
 
 def map_jobs(
@@ -115,6 +116,7 @@ def _run_on(session: SimulationSession, item: SimWorkItem) -> SimulationResult:
         cd_mode=item.cd_mode,
         pattern=item.pattern,
         max_events=item.max_events,
+        engine=item.engine,
     )
 
 

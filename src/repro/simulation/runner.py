@@ -19,6 +19,7 @@ from repro.simulation.traffic import SimTrafficPattern
 from repro.simulation.wormhole import MessageLevelWormholeSimulator, RawRunResult
 
 __all__ = [
+    "ENGINES",
     "SimulationConfig",
     "SimulationResult",
     "SimulationSession",
@@ -28,16 +29,27 @@ __all__ = [
 
 GRANULARITIES = ("message", "flit")
 
+#: Message-level event engines (see :mod:`repro.simulation.eventcore`).
+#: Both must produce bit-identical trajectories; the flit granularity has
+#: a single engine, so ``engine="array"`` there is a config error.
+ENGINES = ("reference", "array")
+
 #: Version tag of the simulators' *trajectories*, embedded in on-disk cache
 #: keys (:mod:`repro.io.cache`) alongside the run's spec-level inputs.  Bump
 #: whenever a change alters any number a simulator run produces for a fixed
 #: (spec, seed, window, granularity) — event ordering, RNG consumption,
 #: drain arithmetic — so cached simulator curves are orphaned rather than
 #: silently reused across incompatible engines.  One tag covers **both**
-#: engines this module dispatches to (:mod:`repro.simulation.wormhole` and
-#: :mod:`repro.simulation.flitsim`); it lives here, at the dispatch point,
-#: so a change to either engine is a change to this module's contract.
-TRAJECTORY_VERSION = "sim/1"
+#: engines this module dispatches to (:mod:`repro.simulation.wormhole`,
+#: :mod:`repro.simulation.flitsim`, and the compiled array core in
+#: :mod:`repro.simulation.eventcore`); it lives here, at the dispatch
+#: point, so a change to any engine is a change to this module's contract.
+#:
+#: sim/2: the array event core landed.  Trajectories are unchanged (the
+#: differential suite proves reference == array bit for bit), but the tag
+#: participates in golden digests and cache keys, and the engine surface
+#: it covers widened, so the corpus was re-pinned under sim/2.
+TRAJECTORY_VERSION = "sim/2"
 
 
 @dataclass(frozen=True)
@@ -55,9 +67,15 @@ class SimulationConfig:
     options: ModelOptions = field(default_factory=ModelOptions)
     pattern: SimTrafficPattern | None = None
     max_events: int = 500_000_000
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         require(self.granularity in GRANULARITIES, f"granularity must be one of {GRANULARITIES}")
+        require(self.engine in ENGINES, f"engine must be one of {ENGINES}")
+        require(
+            not (self.granularity == "flit" and self.engine == "array"),
+            "engine='array' is message-granularity only (the flit engine has no array core)",
+        )
         require_nonnegative(self.generation_rate, "generation_rate")
         require(self.generation_rate > 0, "generation_rate must be positive for a simulation")
 
@@ -118,9 +136,15 @@ class SimulationSession:
         cd_mode: str = "paper",
         pattern: SimTrafficPattern | None = None,
         max_events: int = 500_000_000,
+        engine: str = "reference",
     ) -> SimulationResult:
         """Run one load point on the cached fabric."""
         require(granularity in GRANULARITIES, f"granularity must be one of {GRANULARITIES}")
+        require(engine in ENGINES, f"engine must be one of {ENGINES}")
+        require(
+            not (granularity == "flit" and engine == "array"),
+            "engine='array' is message-granularity only (the flit engine has no array core)",
+        )
         window = window or MeasurementWindow.scaled_paper(20_000)
         streams = make_streams(seed)
         if granularity == "message":
@@ -130,7 +154,7 @@ class SimulationSession:
                     self._draws.pop(next(iter(self._draws)))
                 draws = ReplayableDraws(seed)
             self._draws[seed] = draws
-            engine = MessageLevelWormholeSimulator(
+            sim = MessageLevelWormholeSimulator(
                 self.fabric,
                 window,
                 generation_rate,
@@ -139,11 +163,12 @@ class SimulationSession:
                 ideal_sinks=ideal_sinks,
                 cd_mode=cd_mode,
                 draws=draws,
+                engine=engine,
             )
         else:
             from repro.simulation.flitsim import FlitLevelSimulator
 
-            engine = FlitLevelSimulator(
+            sim = FlitLevelSimulator(
                 self.fabric,
                 window,
                 generation_rate,
@@ -152,7 +177,7 @@ class SimulationSession:
                 ideal_sinks=ideal_sinks,
                 cd_mode=cd_mode,
             )
-        raw = engine.run(max_events=max_events)
+        raw = sim.run(max_events=max_events)
         return self._package(raw, generation_rate, granularity, seed)
 
     def _package(
@@ -193,4 +218,5 @@ def simulate(config: SimulationConfig) -> SimulationResult:
         cd_mode=config.cd_mode,
         pattern=config.pattern,
         max_events=config.max_events,
+        engine=config.engine,
     )

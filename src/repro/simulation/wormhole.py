@@ -123,6 +123,12 @@ class MessageLevelWormholeSimulator:
         arrays are replayed from it instead of re-drawn, so repeated load
         points of one session skip RNG setup; results are bit-identical
         either way.
+    engine:
+        ``"reference"`` (default) runs the CPython event loop below;
+        ``"array"`` dispatches to the compiled array-based event core
+        (:mod:`repro.simulation.eventcore`), which reproduces the
+        reference trajectory bit for bit and falls back to the reference
+        loop when no C compiler is available.
     """
 
     def __init__(
@@ -136,9 +142,12 @@ class MessageLevelWormholeSimulator:
         ideal_sinks: bool = False,
         cd_mode: str = "paper",
         draws: ReplayableDraws | None = None,
+        engine: str = "reference",
     ) -> None:
         require(cd_mode in ("paper", "store_and_forward"), f"unknown cd_mode {cd_mode!r}")
+        require(engine in ("reference", "array"), f"unknown engine {engine!r}")
         self.cd_mode = cd_mode
+        self.engine = engine
         require(fabric.system.total_nodes >= 2, "simulation needs at least two nodes")
         require_positive(generation_rate, "generation_rate")
         self.fabric = fabric
@@ -181,20 +190,41 @@ class MessageLevelWormholeSimulator:
         n_nodes = fabric.system.total_nodes
         need = n_nodes + window.total
         unit = draws.unit_arrivals(need) if draws is not None else streams.arrivals.standard_exponential(need)
-        self._arrival_gaps = (unit * (1.0 / generation_rate)).tolist()
+        self._arrival_gaps_array = unit * (1.0 / generation_rate)
+        self._arrival_gaps = self._arrival_gaps_array.tolist()
         if type(self.pattern) is UniformDestinations:
             if draws is not None:
                 raw = draws.destinations(window.total, n_nodes - 1)
             else:
                 raw = streams.destinations.integers(0, n_nodes - 1, size=window.total)
+            self._dest_draws_array = raw
             self._dest_draws: "list[int] | None" = raw.tolist()
         else:
+            self._dest_draws_array = None
             self._dest_draws = None
+        self._last_result: RawRunResult | None = None
 
     # -- run loop -------------------------------------------------------------------
 
-    def run(self, *, max_events: int = 500_000_000) -> RawRunResult:
-        """Run until every measured message is delivered (or event budget)."""
+    def run(self, *, max_events: int = 500_000_000, trace: "list | None" = None) -> RawRunResult:
+        """Run until every measured message is delivered (or event budget).
+
+        When *trace* is a list, every processed event is appended to it as
+        ``(time, kind, id)`` — kind is ``_GEN``/``_HDR``/``_REL``/``_DEL``
+        and id is the message sequence number (negative ``-(node+1)`` for
+        post-budget arrivals, the channel id for releases).  Both engines
+        emit the identical stream; the differential suite compares them
+        element for element.
+        """
+        if self.engine == "array":
+            from repro.simulation import eventcore
+
+            if eventcore.kernel_available():
+                result = eventcore.array_run(self, max_events=max_events, trace=trace)
+                self._last_result = result
+                return result
+            # No compiler/kernel on this host: the reference loop below is
+            # the bit-identical fallback.
         wall_start = _time.perf_counter()
 
         window = self.window
@@ -227,6 +257,7 @@ class MessageLevelWormholeSimulator:
         arr_gen = arr[n_nodes:]  # gap i belongs to generation i
         pattern_sample = None if dest_draws is not None else self.pattern.sample_destination
         dest_rng = self.streams.destinations
+        trace_append = trace.append if trace is not None else None
 
         # Events are 3-tuples ``(time, tag, payload)`` with the kind packed
         # into the low bits of the tie-break tag (eseq advances in steps of
@@ -271,6 +302,12 @@ class MessageLevelWormholeSimulator:
             else:
                 break
             events += 1
+            if trace_append is not None:
+                if is_arrival:
+                    trace_append((t, _GEN, generated if generated < total_budget else -(payload + 1)))
+                else:
+                    k = tag & 3
+                    trace_append((t, k, payload if k == _REL else payload[_SEQ]))
             if is_arrival:
                 if generated < total_budget:
                     seq = generated
@@ -455,7 +492,7 @@ class MessageLevelWormholeSimulator:
         wall = _time.perf_counter() - wall_start
         stats = self.collector.stats()
         busy_by_group = {name: busy[i] for i, name in enumerate(GROUPS)}
-        return RawRunResult(
+        result = RawRunResult(
             stats=stats,
             per_cluster_means=self.collector.per_cluster_means(),
             duration=t,
@@ -467,3 +504,14 @@ class MessageLevelWormholeSimulator:
             busy_time_by_group=busy_by_group,
             wall_seconds=wall,
         )
+        self._last_result = result
+        return result
+
+    def trajectory(self):
+        """The engine-invariant :class:`~repro.simulation.eventcore.Trajectory`
+        of the last completed :meth:`run` — the public surface the
+        differential and golden-corpus tests compare engines on."""
+        require(self._last_result is not None, "run() must complete before trajectory()")
+        from repro.simulation.eventcore import build_trajectory
+
+        return build_trajectory(self.collector, self._last_result)

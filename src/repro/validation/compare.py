@@ -97,6 +97,7 @@ def run_validation(
     session: SimulationSession | None = None,
     pattern=None,
     jobs: "int | str | None" = None,
+    engine: str = "reference",
 ) -> ValidationCurve:
     """Evaluate model and simulator at every load in *loads*.
 
@@ -108,7 +109,9 @@ def run_validation(
     (``0``/``"auto"`` = one worker per CPU).  Point ``i`` keeps its
     historical seed ``seed + i`` — the points are *different operating
     conditions*, not replicas of one stream — so the curve is bit-identical
-    for any worker count.
+    for any worker count.  *engine* selects the message-level event engine
+    (``"reference"``/``"array"``, see :mod:`repro.simulation.eventcore`);
+    both produce the identical curve.
     """
     loads = np.asarray(loads, dtype=np.float64)
     require(loads.ndim == 1 and loads.size > 0, "loads must be a non-empty 1-D sequence")
@@ -125,6 +128,7 @@ def run_validation(
             window=window,
             granularity=granularity,
             pattern=pattern,
+            engine=engine,
         )
         for idx, lam in enumerate(loads)
     ]

@@ -1,0 +1,362 @@
+"""Differential harness for the array event core (simulation.eventcore).
+
+Three layers of defence, per the bit-identical-trajectory contract:
+
+* property tests pin :class:`ArrayHeap` (the executable spec of the
+  kernel's heap) against a :mod:`heapq` oracle, and the pure-Python
+  :func:`generation_schedule` against the compiled prepass;
+* the differential suite runs reference and array engines over registry
+  scenarios × seeds × run modes and asserts *exact* equality — full event
+  trace, trajectory, and raw-result fields — never ``allclose``;
+* the fallback path (no compiler) is proven equal too, so the engine
+  switch can never change numbers regardless of toolchain.
+
+Randomness is seeded through :mod:`repro.simulation.rng` (RD101: no
+unseeded draws anywhere in the suite).
+"""
+
+import heapq
+from dataclasses import replace
+from functools import lru_cache
+
+import pytest
+
+from repro.cluster.system import HeterogeneousSystem
+from repro.core.parameters import ModelOptions
+from repro.scenarios.registry import get_scenario
+from repro.simulation import eventcore
+from repro.simulation.eventcore import (
+    ArrayHeap,
+    canonical_trajectory,
+    generation_schedule,
+    kernel_available,
+    kernel_prepass,
+    trajectory_digest,
+)
+from repro.simulation.fabric import ResolvedFabric
+from repro.simulation.metrics import MeasurementWindow
+from repro.simulation.rng import make_streams
+from repro.simulation.runner import ENGINES, SimulationConfig, SimulationSession
+from repro.simulation.wormhole import MessageLevelWormholeSimulator
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(), reason="no C compiler/kernel on this host"
+)
+
+SCENARIOS = ("544", "544-hotspot", "544-local", "het8-extreme", "het8-uniform")
+SEEDS = (0, 1, 2024)
+WINDOW = MeasurementWindow(100, 600, 100)
+LOAD = 3e-4
+
+
+@lru_cache(maxsize=None)
+def scenario_fabric(name):
+    spec = get_scenario(name)
+    system = HeterogeneousSystem(spec.system)
+    return spec, ResolvedFabric(system, spec.message, ModelOptions())
+
+
+def run_engine(name, seed, engine, *, window=WINDOW, max_events=500_000_000, **kw):
+    """One traced run; returns (simulator, raw result, trace)."""
+    spec, fabric = scenario_fabric(name)
+    trace = []
+    sim = MessageLevelWormholeSimulator(
+        fabric, window, LOAD, make_streams(seed), spec.pattern, engine=engine, **kw
+    )
+    raw = sim.run(max_events=max_events, trace=trace)
+    return sim, raw, trace
+
+
+def assert_identical(name, seed, **kw):
+    """Reference vs array: exact equality of trace, trajectory and raw."""
+    ref_sim, ref_raw, ref_trace = run_engine(name, seed, "reference", **kw)
+    arr_sim, arr_raw, arr_trace = run_engine(name, seed, "array", **kw)
+    assert ref_trace == arr_trace, f"{name} seed={seed}: event traces diverge"
+    assert ref_sim.trajectory() == arr_sim.trajectory(), (
+        f"{name} seed={seed}: trajectories diverge"
+    )
+    assert canonical_trajectory(ref_sim.trajectory()) == canonical_trajectory(
+        arr_sim.trajectory()
+    )
+    assert ref_raw.events == arr_raw.events
+    assert ref_raw.generated == arr_raw.generated
+    assert ref_raw.duration == arr_raw.duration
+    assert ref_raw.completed == arr_raw.completed
+    # repr round-trips floats exactly and renders NaN as "nan", so this is
+    # still bit-exact for truncated runs whose stats hold NaN fields.
+    assert repr(ref_raw.stats) == repr(arr_raw.stats)
+    assert repr(ref_raw.per_cluster_means) == repr(arr_raw.per_cluster_means)
+    assert ref_raw.busy_time_by_group == arr_raw.busy_time_by_group
+
+
+# ---------------------------------------------------------------------------
+# ArrayHeap property tests (heapq oracle, seeded via rng.py)
+# ---------------------------------------------------------------------------
+
+
+class TestArrayHeapProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_push_pop_stream_matches_heapq(self, seed):
+        rng = make_streams(seed).arrivals
+        heap, oracle = ArrayHeap(capacity=4), []
+        # Coarse times force many exact ties; the unique tag breaks them.
+        times = (rng.integers(0, 12, size=300) * 0.5).tolist()
+        for tag, t in enumerate(times):
+            heap.push(t, tag, payload=tag % 7)
+            heapq.heappush(oracle, (t, tag, tag % 7))
+        popped = [heap.pop() for _ in range(len(times))]
+        expected = [heapq.heappop(oracle) for _ in range(len(oracle))]
+        assert popped == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interleaved_ops_match_heapq(self, seed):
+        rng = make_streams(seed).destinations
+        heap, oracle = ArrayHeap(capacity=1), []
+        tag = 0
+        for op in rng.integers(0, 3, size=500).tolist():
+            if op < 2 or not oracle:  # bias towards pushes, never pop empty
+                t = float(rng.integers(0, 20)) * 0.25
+                heap.push(t, tag, payload=tag)
+                heapq.heappush(oracle, (t, tag, tag))
+                tag += 1
+            else:
+                assert heap.pop() == heapq.heappop(oracle)
+        while oracle:
+            assert heap.pop() == heapq.heappop(oracle)
+        assert len(heap) == 0
+
+    @pytest.mark.parametrize("seed", (3, 11))
+    def test_pop_times_monotone_nondecreasing(self, seed):
+        rng = make_streams(seed).arrivals
+        heap = ArrayHeap()
+        for tag, t in enumerate(rng.standard_exponential(200).tolist()):
+            heap.push(t, tag)
+        times = [heap.pop()[0] for _ in range(200)]
+        assert times == sorted(times)
+
+    def test_equal_times_pop_in_tag_order(self):
+        # Total order under ties: tags are the tie-break, inserted shuffled.
+        rng = make_streams(5).arrivals
+        heap = ArrayHeap()
+        tags = rng.permutation(64).tolist()
+        for tag in tags:
+            heap.push(1.5, tag, payload=tag)
+        assert [heap.pop()[1] for _ in range(64)] == sorted(tags)
+
+    def test_replace_equals_pop_then_push(self):
+        rng = make_streams(9).arrivals
+        a, b = ArrayHeap(), ArrayHeap()
+        for tag, t in enumerate(rng.standard_exponential(50).tolist()):
+            a.push(t, tag)
+            b.push(t, tag)
+        root = a.replace(0.25, 1000)
+        assert root == b.pop()
+        b.push(0.25, 1000)
+        pops_a = [a.pop() for _ in range(len(a))]
+        pops_b = [b.pop() for _ in range(len(b))]
+        assert pops_a == pops_b
+
+    def test_kind_unpacks_low_bits(self):
+        assert ArrayHeap.kind(4 | 3) == 3
+        assert ArrayHeap.kind(8) == 0
+
+    def test_empty_pop_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayHeap().pop()
+        with pytest.raises(ValueError):
+            ArrayHeap().peek()
+
+
+# ---------------------------------------------------------------------------
+# generation schedule: Python spec vs compiled prepass
+# ---------------------------------------------------------------------------
+
+
+class TestGenerationSchedule:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("n_nodes,total", [(4, 50), (32, 400), (544, 800)])
+    def test_python_schedule_is_deterministic(self, seed, n_nodes, total):
+        gaps = make_streams(seed).arrivals.standard_exponential(n_nodes + total)
+        a = generation_schedule(gaps, n_nodes, total)
+        b = generation_schedule(gaps, n_nodes, total)
+        for x, y in zip(a, b):
+            assert x.tolist() == y.tolist()
+
+    @needs_kernel
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("n_nodes,total", [(4, 50), (32, 400), (544, 800)])
+    def test_kernel_prepass_matches_python(self, seed, n_nodes, total):
+        gaps = make_streams(seed).arrivals.standard_exponential(n_nodes + total)
+        py = generation_schedule(gaps, n_nodes, total)
+        c = kernel_prepass(gaps, n_nodes, total)
+        for spec_col, kernel_col in zip(py, c):
+            assert spec_col.tolist() == kernel_col.tolist()
+
+    def test_schedule_times_monotone(self):
+        gaps = make_streams(1).arrivals.standard_exponential(8 + 100)
+        g_time, g_node, dead_time, _ = generation_schedule(gaps, 8, 100)
+        assert g_time.tolist() == sorted(g_time.tolist())
+        assert all(int(n) < 8 for n in g_node)
+        # Dead arrivals drain strictly after scheduling, at/after the last
+        # generation's time.
+        assert min(dead_time) >= g_time[-1] or len(dead_time) == 8
+
+    def test_short_gaps_rejected(self):
+        with pytest.raises(ValueError):
+            generation_schedule([0.1, 0.2], 2, 5)
+
+
+# ---------------------------------------------------------------------------
+# the differential suite: reference vs array, exact equality
+# ---------------------------------------------------------------------------
+
+
+@needs_kernel
+class TestDifferentialTrajectories:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_bit_identical_across_scenarios_and_seeds(self, scenario, seed):
+        assert_identical(scenario, seed)
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_store_and_forward_mode(self, seed):
+        assert_identical("544", seed, cd_mode="store_and_forward")
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_ideal_sinks_mode(self, seed):
+        assert_identical("544", seed, ideal_sinks=True)
+
+    @pytest.mark.parametrize("max_events", (500, 5001))
+    def test_event_budget_truncation_identical(self, max_events):
+        # Truncated runs stop mid-flight (possibly before any measured
+        # delivery, leaving NaN wait means) and must still agree exactly.
+        assert_identical("544", 0, max_events=max_events)
+
+    def test_empty_measurement_tail(self):
+        assert_identical("het8-uniform", 1, window=MeasurementWindow(0, 200, 0))
+
+    def test_digest_matches_between_engines(self):
+        ref_sim, _, _ = run_engine("544", 2024, "reference")
+        arr_sim, _, _ = run_engine("544", 2024, "array")
+        assert trajectory_digest(ref_sim.trajectory()) == trajectory_digest(
+            arr_sim.trajectory()
+        )
+
+
+@needs_kernel
+class TestSessionAndConfigPlumbing:
+    def test_session_results_identical_modulo_wall(self, small_system, small_message):
+        session = SimulationSession(small_system, small_message)
+        ref = session.run(1e-3, seed=3, window=WINDOW)
+        arr = session.run(1e-3, seed=3, window=WINDOW, engine="array")
+        assert replace(ref, wall_seconds=0.0) == replace(arr, wall_seconds=0.0)
+
+    def test_replayable_draws_path_identical(self, small_system, small_message):
+        # Session runs replay cached draw arrays; a fresh session re-draws.
+        # Both routes, under both engines, must agree draw for draw.
+        results = []
+        for engine in ENGINES:
+            session = SimulationSession(small_system, small_message)
+            first = session.run(1e-3, seed=5, window=WINDOW, engine=engine)
+            second = session.run(1e-3, seed=5, window=WINDOW, engine=engine)
+            results.append((first, second))
+        (ref1, ref2), (arr1, arr2) = results
+        assert replace(ref1, wall_seconds=0.0) == replace(ref2, wall_seconds=0.0)
+        assert replace(ref1, wall_seconds=0.0) == replace(arr1, wall_seconds=0.0)
+        assert replace(arr1, wall_seconds=0.0) == replace(arr2, wall_seconds=0.0)
+
+    def test_flit_granularity_rejects_array_engine(self, small_system, small_message):
+        session = SimulationSession(small_system, small_message)
+        with pytest.raises(ValueError, match="message-granularity only"):
+            session.run(1e-3, window=WINDOW, granularity="flit", engine="array")
+        with pytest.raises(ValueError, match="message-granularity only"):
+            SimulationConfig(
+                system=small_system,
+                message=small_message,
+                generation_rate=1e-3,
+                granularity="flit",
+                engine="array",
+            )
+
+    def test_unknown_engine_rejected(self, small_fabric):
+        with pytest.raises(ValueError, match="unknown engine"):
+            MessageLevelWormholeSimulator(
+                small_fabric, WINDOW, 1e-3, make_streams(0), engine="vectorised"
+            )
+
+
+class TestFallbackPath:
+    def test_array_engine_falls_back_to_reference(self, monkeypatch, small_fabric):
+        # Simulate a host with no compiler: the kernel never loads and the
+        # array engine must silently produce the reference trajectory.
+        monkeypatch.setattr(eventcore, "_KERNEL", None)
+        assert not kernel_available()
+        trace_fb, trace_ref = [], []
+        fb = MessageLevelWormholeSimulator(
+            small_fabric, WINDOW, 1e-3, make_streams(7), engine="array"
+        )
+        fb_raw = fb.run(trace=trace_fb)
+        ref = MessageLevelWormholeSimulator(
+            small_fabric, WINDOW, 1e-3, make_streams(7), engine="reference"
+        )
+        ref_raw = ref.run(trace=trace_ref)
+        assert trace_fb == trace_ref
+        assert fb.trajectory() == ref.trajectory()
+        assert fb_raw.events == ref_raw.events
+
+    def test_kernel_unavailable_raises_in_array_run(self, monkeypatch, small_fabric):
+        monkeypatch.setattr(eventcore, "_KERNEL", None)
+        sim = MessageLevelWormholeSimulator(
+            small_fabric, WINDOW, 1e-3, make_streams(0), engine="array"
+        )
+        with pytest.raises(ValueError, match="kernel unavailable"):
+            eventcore.array_run(sim)
+
+
+# ---------------------------------------------------------------------------
+# trajectory canonicalisation and digests
+# ---------------------------------------------------------------------------
+
+
+class TestTrajectorySurface:
+    def test_trajectory_requires_completed_run(self, small_fabric):
+        sim = MessageLevelWormholeSimulator(small_fabric, WINDOW, 1e-3, make_streams(0))
+        with pytest.raises(ValueError, match="run"):
+            sim.trajectory()
+
+    def test_digest_is_stable_and_version_bound(self, small_fabric):
+        sim = MessageLevelWormholeSimulator(small_fabric, WINDOW, 1e-3, make_streams(4))
+        sim.run()
+        traj = sim.trajectory()
+        assert trajectory_digest(traj) == trajectory_digest(traj)
+        canon = canonical_trajectory(traj)
+        from repro.simulation.runner import TRAJECTORY_VERSION
+
+        assert canon["version"] == TRAJECTORY_VERSION
+        bumped = replace(traj, version=traj.version + "-next")
+        assert trajectory_digest(bumped) != trajectory_digest(traj)
+
+    def test_nan_wait_means_compare_equal(self, small_fabric):
+        # A run truncated before any measured delivery leaves NaN wait
+        # means; trajectory equality is canonical, so NaN == NaN here.
+        sims = []
+        for _ in range(2):
+            sim = MessageLevelWormholeSimulator(
+                small_fabric, WINDOW, 1e-3, make_streams(2)
+            )
+            sim.run(max_events=40)
+            sims.append(sim)
+        a, b = (s.trajectory() for s in sims)
+        assert a.source_wait_mean != a.source_wait_mean  # NaN
+        assert a == b
+
+    def test_flit_engine_exposes_same_surface(self, small_session):
+        from repro.simulation.flitsim import FlitLevelSimulator
+
+        sim = FlitLevelSimulator(
+            small_session.fabric, MeasurementWindow(20, 100, 20), 1e-3, make_streams(0)
+        )
+        sim.run()
+        traj = sim.trajectory()
+        assert traj.events > 0
+        assert trajectory_digest(traj) == trajectory_digest(traj)

@@ -5,11 +5,27 @@ that refactors cannot silently change results.  Values were produced by
 this implementation (v1.0.0) and cross-checked against the paper's figure
 geometry (see EXPERIMENTS.md); tolerances are tight (1e-9 relative) since
 the model is deterministic.
+
+The simulator side is locked by the golden-trajectory digest corpus
+(``tests/goldens/trajectories.json``, maintained by
+``tools/regen_goldens.py``): every entry's sha256-of-canonical-trajectory
+is replayed here — message-granularity entries under *both* event engines
+— so either engine drifting fails CI naming the scenario and the
+``TRAJECTORY_VERSION`` the digest was pinned under.
 """
+
+import json
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.core import AnalyticalModel, MessageSpec, ModelOptions, paper_system_544, paper_system_1120
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))  # `tools` is importable from the repo root only
+
+from tools.regen_goldens import GOLDENS_PATH, GOLDENS_SCHEMA, golden_digest  # noqa: E402
 
 GOLDENS = [
     # (system, M, d_m, lambda_g, expected mean latency)
@@ -55,6 +71,63 @@ class TestSimulationGoldens:
         first = result.mean_latency
         again = small_session.run(1e-3, seed=2024, window=MeasurementWindow(100, 1000, 100))
         assert again.mean_latency == first
+
+
+def _corpus() -> dict:
+    return json.loads(GOLDENS_PATH.read_text(encoding="utf-8"))
+
+
+def _corpus_cases():
+    corpus = _corpus()
+    cases = []
+    for entry in corpus["entries"]:
+        engines = ("reference", "array") if entry["granularity"] == "message" else ("reference",)
+        for engine in engines:
+            label = f"{entry['scenario']}-s{entry['seed']}-{entry['granularity']}-{engine}"
+            cases.append(pytest.param(entry, engine, id=label))
+    return cases
+
+
+class TestGoldenTrajectoryCorpus:
+    """Replay every pinned digest; failures name scenario + pinned version."""
+
+    def test_corpus_schema_and_version(self):
+        from repro.simulation.runner import TRAJECTORY_VERSION
+
+        corpus = _corpus()
+        assert corpus["schema"] == GOLDENS_SCHEMA
+        assert corpus["trajectory_version"] == TRAJECTORY_VERSION, (
+            f"golden corpus was pinned under TRAJECTORY_VERSION="
+            f"{corpus['trajectory_version']!r} but the code declares "
+            f"{TRAJECTORY_VERSION!r}; follow the regen protocol in "
+            f"tools/regen_goldens.py"
+        )
+        assert len(corpus["entries"]) >= 12
+
+    @pytest.mark.parametrize("entry,engine", _corpus_cases())
+    def test_pinned_digest(self, entry, engine):
+        corpus = _corpus()
+        if engine == "array":
+            from repro.simulation.eventcore import kernel_available
+
+            if not kernel_available():
+                pytest.skip("no C compiler/kernel on this host")
+        digest = golden_digest(
+            entry["scenario"],
+            entry["seed"],
+            entry["granularity"],
+            entry["load"],
+            tuple(entry["window"]),
+            engine=engine,
+        )
+        assert digest == entry["digest"], (
+            f"golden trajectory drift: scenario {entry['scenario']!r} "
+            f"(seed={entry['seed']}, granularity={entry['granularity']}, "
+            f"engine={engine}) no longer matches the digest pinned under "
+            f"TRAJECTORY_VERSION={corpus['trajectory_version']!r}.  If the "
+            f"change is intentional, bump TRAJECTORY_VERSION and regenerate "
+            f"via the protocol in tools/regen_goldens.py."
+        )
 
 
 class TestOptionIndependence:

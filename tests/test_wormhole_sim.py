@@ -1,13 +1,28 @@
-"""Message-level wormhole simulator tests (simulation.wormhole)."""
+"""Message-level wormhole simulator tests (simulation.wormhole).
+
+Determinism/conservation tests run against the public
+:meth:`~repro.simulation.wormhole.MessageLevelWormholeSimulator.trajectory`
+accessor and are parametrized over both event engines, so the reference
+loop and the compiled array core share one test surface (the ``array``
+cases fall back to the reference loop on hosts without a C compiler —
+bit-identical either way, which is itself under test in
+``test_eventcore.py``).
+"""
 
 import numpy as np
 import pytest
 
 from repro.simulation import (
+    ENGINES,
     MeasurementWindow,
     MessageLevelWormholeSimulator,
     make_streams,
 )
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
 
 
 def isolated_message_latency(fabric, segments, m_flits):
@@ -46,28 +61,49 @@ class TestIsolatedMessage:
 
 
 class TestDeterminismAndConservation:
-    def test_same_seed_same_result(self, small_fabric, fast_window):
-        runs = [
-            MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(11)).run()
+    def test_same_seed_same_trajectory(self, small_fabric, fast_window, engine):
+        sims = [
+            MessageLevelWormholeSimulator(
+                small_fabric, fast_window, 5e-4, make_streams(11), engine=engine
+            )
             for _ in range(2)
         ]
-        assert runs[0].stats.mean == runs[1].stats.mean
-        assert runs[0].events == runs[1].events
+        for sim in sims:
+            sim.run()
+        assert sims[0].trajectory() == sims[1].trajectory()
 
-    def test_different_seed_different_result(self, small_fabric, fast_window):
-        a = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(1)).run()
-        b = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(2)).run()
-        assert a.stats.mean != b.stats.mean
+    def test_different_seed_different_trajectory(self, small_fabric, fast_window, engine):
+        sims = [
+            MessageLevelWormholeSimulator(
+                small_fabric, fast_window, 5e-4, make_streams(seed), engine=engine
+            )
+            for seed in (1, 2)
+        ]
+        for sim in sims:
+            sim.run()
+        assert sims[0].trajectory() != sims[1].trajectory()
+        assert sims[0].trajectory().latencies != sims[1].trajectory().latencies
 
-    def test_all_measured_messages_delivered(self, small_fabric, fast_window):
-        result = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(3)).run()
+    def test_all_measured_messages_delivered(self, small_fabric, fast_window, engine):
+        sim = MessageLevelWormholeSimulator(
+            small_fabric, fast_window, 5e-4, make_streams(3), engine=engine
+        )
+        result = sim.run()
         assert result.completed
         assert result.stats.count == fast_window.measured
+        traj = sim.trajectory()
+        assert traj.completed
+        assert len(traj.latencies) == fast_window.measured
+        assert len(traj.inter_cluster) == len(traj.latencies) == len(traj.source_clusters)
 
-    def test_event_budget_interrupts(self, small_fabric, fast_window):
-        result = MessageLevelWormholeSimulator(small_fabric, fast_window, 5e-4, make_streams(3)).run(max_events=100)
+    def test_event_budget_interrupts(self, small_fabric, fast_window, engine):
+        sim = MessageLevelWormholeSimulator(
+            small_fabric, fast_window, 5e-4, make_streams(3), engine=engine
+        )
+        result = sim.run(max_events=100)
         assert not result.completed
         assert result.events <= 100
+        assert sim.trajectory().events == result.events
 
 
 class TestLoadResponse:

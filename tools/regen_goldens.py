@@ -1,0 +1,142 @@
+"""Regenerate the golden-trajectory digest corpus.
+
+The corpus (``tests/goldens/trajectories.json``) pins one sha256 digest of
+the canonical trajectory (:func:`repro.simulation.eventcore.trajectory_digest`)
+per (scenario, seed, granularity) golden point.  CI replays every entry —
+message-granularity points under **both** event engines — so either engine
+drifting from its pinned trajectory fails by name.
+
+Regen protocol (the RF003 discipline, applied to trajectories)
+--------------------------------------------------------------
+Digests embed ``TRAJECTORY_VERSION``, so they go stale exactly when that
+tag is bumped — which is also the only legitimate moment to regenerate:
+
+1. change the simulator, bump ``TRAJECTORY_VERSION`` in
+   ``src/repro/simulation/runner.py``, and regenerate the reprolint
+   fingerprints (``python -m tools.reprolint --write-fingerprints``);
+2. regenerate this corpus in the same commit::
+
+       PYTHONPATH=src python -m tools.regen_goldens
+
+3. eyeball the diff: an intentional semantic change rewrites every
+   digest; a version-only bump rewrites them too (the version is hashed),
+   but an *unintentional* trajectory change without a bump is caught by
+   the suite before you ever get here.
+
+Never hand-edit digests, and never regenerate to silence a failure you
+cannot explain — that failure is the corpus doing its job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+GOLDENS_PATH = ROOT / "tests" / "goldens" / "trajectories.json"
+GOLDENS_SCHEMA = "repro.goldens.trajectories/1"
+
+#: The corpus: (scenario, seed, granularity, load, (warmup, measured, drain)).
+#: Message points span the registry's topology/traffic families; flit
+#: points are smaller (the flit engine is ~50x slower per message).
+GOLDEN_SPECS: tuple[tuple[str, int, str, float, tuple[int, int, int]], ...] = (
+    ("544", 0, "message", 3e-4, (100, 600, 100)),
+    ("544", 1, "message", 3e-4, (100, 600, 100)),
+    ("544", 2024, "message", 3e-4, (100, 600, 100)),
+    ("544-hotspot", 0, "message", 3e-4, (100, 600, 100)),
+    ("544-hotspot", 1, "message", 3e-4, (100, 600, 100)),
+    ("544-local", 0, "message", 3e-4, (100, 600, 100)),
+    ("544-local", 2024, "message", 3e-4, (100, 600, 100)),
+    ("het8-extreme", 0, "message", 3e-4, (100, 600, 100)),
+    ("het8-extreme", 1, "message", 3e-4, (100, 600, 100)),
+    ("het8-uniform", 0, "message", 3e-4, (100, 600, 100)),
+    ("het8-uniform", 2024, "message", 3e-4, (100, 600, 100)),
+    ("1120", 0, "message", 2e-4, (100, 400, 100)),
+    ("544", 0, "flit", 3e-4, (20, 120, 20)),
+    ("544", 1, "flit", 3e-4, (20, 120, 20)),
+    ("het8-uniform", 0, "flit", 3e-4, (20, 120, 20)),
+    ("het8-uniform", 1, "flit", 3e-4, (20, 120, 20)),
+)
+
+
+def golden_trajectory(scenario, seed, granularity, load, window, *, engine="reference"):
+    """Run one golden point and return its trajectory."""
+    from repro.cluster.system import HeterogeneousSystem
+    from repro.core.parameters import ModelOptions
+    from repro.scenarios.registry import get_scenario
+    from repro.simulation.fabric import ResolvedFabric
+    from repro.simulation.metrics import MeasurementWindow
+    from repro.simulation.rng import make_streams
+
+    spec = get_scenario(scenario)
+    fabric = ResolvedFabric(HeterogeneousSystem(spec.system), spec.message, ModelOptions())
+    mw = MeasurementWindow(*window)
+    if granularity == "message":
+        from repro.simulation.wormhole import MessageLevelWormholeSimulator
+
+        sim = MessageLevelWormholeSimulator(
+            fabric, mw, load, make_streams(seed), spec.pattern, engine=engine
+        )
+    else:
+        from repro.simulation.flitsim import FlitLevelSimulator
+
+        sim = FlitLevelSimulator(fabric, mw, load, make_streams(seed), spec.pattern)
+    sim.run()
+    return sim.trajectory()
+
+
+def golden_digest(scenario, seed, granularity, load, window, *, engine="reference"):
+    """Digest of one golden point (what the corpus pins)."""
+    from repro.simulation.eventcore import trajectory_digest
+
+    return trajectory_digest(
+        golden_trajectory(scenario, seed, granularity, load, window, engine=engine)
+    )
+
+
+def build_corpus() -> dict:
+    """Compute every golden entry with the reference engine."""
+    from repro.simulation.runner import TRAJECTORY_VERSION
+
+    entries = []
+    for scenario, seed, granularity, load, window in GOLDEN_SPECS:
+        entries.append(
+            {
+                "scenario": scenario,
+                "seed": seed,
+                "granularity": granularity,
+                "load": load,
+                "window": list(window),
+                "digest": golden_digest(scenario, seed, granularity, load, window),
+            }
+        )
+    return {
+        "schema": GOLDENS_SCHEMA,
+        "trajectory_version": TRAJECTORY_VERSION,
+        "regen": "PYTHONPATH=src python -m tools.regen_goldens  (see the module docstring for the protocol)",
+        "entries": entries,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    check_only = "--check" in argv
+    corpus = build_corpus()
+    text = json.dumps(corpus, indent=2) + "\n"
+    if check_only:
+        current = GOLDENS_PATH.read_text(encoding="utf-8") if GOLDENS_PATH.exists() else ""
+        if current != text:
+            print(f"{GOLDENS_PATH} is stale; rerun without --check", file=sys.stderr)
+            return 1
+        print(f"{GOLDENS_PATH} is up to date")
+        return 0
+    GOLDENS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDENS_PATH.write_text(text, encoding="utf-8")
+    print(f"wrote {GOLDENS_PATH} ({len(corpus['entries'])} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ __all__ = [
     "Surface",
     "build_manifest",
     "check_fingerprints",
+    "fingerprint_path",
     "fingerprint_source",
     "write_manifest",
 ]
@@ -93,6 +94,8 @@ SURFACES: dict[str, Surface] = {
         version_name="TRAJECTORY_VERSION",
         version_module="src/repro/simulation/runner.py",
         files=(
+            "src/repro/simulation/_eventcore.c",
+            "src/repro/simulation/eventcore.py",
             "src/repro/simulation/fabric.py",
             "src/repro/simulation/flitsim.py",
             "src/repro/simulation/metrics.py",
@@ -110,6 +113,19 @@ def fingerprint_source(source: str) -> str:
     tree = strip_docstrings(ast.parse(source))
     dump = ast.dump(tree, annotate_fields=True, include_attributes=False)
     return hashlib.sha256(dump.encode("utf-8")).hexdigest()
+
+
+def fingerprint_path(path: Path) -> str:
+    """Fingerprint one surface file by kind.
+
+    ``.py`` files hash their normalized AST (comment/docstring changes
+    never matter); anything else — the simulator's C kernel — hashes raw
+    bytes, since there is no Python AST to normalize and any source change
+    there can change compiled-run numbers.
+    """
+    if path.suffix == ".py":
+        return fingerprint_source(path.read_text(encoding="utf-8"))
+    return hashlib.sha256(path.read_bytes()).hexdigest()
 
 
 def _declared_version(root: Path, surface: Surface) -> str | None:
@@ -146,10 +162,7 @@ def build_manifest(root: Path) -> dict:
                 f"{surface.version_module} does not declare "
                 f"{surface.version_name} as a string constant"
             )
-        files = {
-            rel: fingerprint_source((root / rel).read_text(encoding="utf-8"))
-            for rel in surface.files
-        }
+        files = {rel: fingerprint_path(root / rel) for rel in surface.files}
         surfaces[name] = {
             "version_name": surface.version_name,
             "version_module": surface.version_module,
@@ -210,7 +223,7 @@ def _surface_diags(
     for rel in surface.files:
         path = root / rel
         try:
-            current = fingerprint_source(path.read_text(encoding="utf-8"))
+            current = fingerprint_path(path)
         except (OSError, SyntaxError) as exc:
             diags.append(
                 Diagnostic(
